@@ -1,0 +1,32 @@
+//! Criterion bench backing Fig 10: AES-CBC encryption time vs message
+//! length (expect linear scaling in bytes).
+
+use biot_crypto::aes::{Aes, AesKey};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_encrypt(c: &mut Criterion) {
+    let aes = Aes::new(&AesKey::Aes256([0x42; 32]));
+    let iv = [7u8; 16];
+    let mut group = c.benchmark_group("aes_cbc_encrypt");
+    for log2 in [6usize, 10, 14, 18] {
+        let n = 1usize << log2;
+        let data = vec![0xABu8; n];
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| aes.encrypt_cbc(data, &iv))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decrypt(c: &mut Criterion) {
+    let aes = Aes::new(&AesKey::Aes256([0x42; 32]));
+    let iv = [7u8; 16];
+    let ct = aes.encrypt_cbc(&vec![0xCDu8; 1 << 14], &iv);
+    c.bench_function("aes_cbc_decrypt_16k", |b| {
+        b.iter(|| aes.decrypt_cbc(&ct, &iv).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_encrypt, bench_decrypt);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Microbenchmarks of the from-scratch bignum: the arithmetic that
+//! dominates RSA cost.
+
+use biot_crypto::bignum::{gen_prime, BigUint};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn value(bits: usize, seed: u64) -> BigUint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BigUint::random_bits(&mut rng, bits)
+}
+
+fn bench_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bignum_mul");
+    for bits in [256usize, 512, 1024, 2048] {
+        let a = value(bits, 1);
+        let b = value(bits, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
+            bch.iter(|| &a * &b)
+        });
+    }
+    group.finish();
+}
+
+fn bench_div_rem(c: &mut Criterion) {
+    let a = value(2048, 3);
+    let b = value(1024, 4);
+    c.bench_function("bignum_div_2048_by_1024", |bch| bch.iter(|| a.div_rem(&b)));
+}
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bignum_modpow");
+    group.sample_size(20);
+    for bits in [256usize, 512] {
+        let base = value(bits, 5);
+        let exp = value(bits, 6);
+        let modulus = value(bits, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
+            bch.iter(|| base.modpow(&exp, &modulus))
+        });
+    }
+    group.finish();
+}
+
+fn bench_modinv(c: &mut Criterion) {
+    let a = value(512, 8);
+    let mut rng = StdRng::seed_from_u64(9);
+    let p = gen_prime(512, &mut rng);
+    c.bench_function("bignum_modinv_512_mod_prime", |bch| {
+        bch.iter(|| a.modinv(&p).unwrap())
+    });
+}
+
+fn bench_prime_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bignum_gen_prime");
+    group.sample_size(10);
+    group.bench_function("128", |bch| {
+        let mut rng = StdRng::seed_from_u64(10);
+        bch.iter(|| gen_prime(128, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mul,
+    bench_div_rem,
+    bench_modpow,
+    bench_modinv,
+    bench_prime_gen
+);
+criterion_main!(benches);

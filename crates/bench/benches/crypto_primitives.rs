@@ -1,0 +1,52 @@
+//! Microbenchmarks of the from-scratch primitives: SHA-256, HMAC, RSA.
+
+use biot_crypto::rsa::RsaPrivateKey;
+use biot_crypto::sha256::{hmac_sha256, sha256};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for n in [64usize, 1024, 65536] {
+        let data = vec![0x5Au8; n];
+        group.throughput(Throughput::Bytes(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| sha256(data))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0x5Au8; 1024];
+    c.bench_function("hmac_sha256_1k", |b| b.iter(|| hmac_sha256(b"key", &data)));
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let sk = RsaPrivateKey::generate(512, &mut rng);
+    let sig = sk.sign(b"message");
+    let ct = sk.public().encrypt(b"a 32-byte symmetric session key!", &mut rng).unwrap();
+
+    c.bench_function("rsa512_sign", |b| b.iter(|| sk.sign(b"message")));
+    c.bench_function("rsa512_verify", |b| {
+        b.iter(|| sk.public().verify(b"message", &sig))
+    });
+    c.bench_function("rsa512_encrypt", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| sk.public().encrypt(b"a 32-byte symmetric session key!", &mut rng))
+    });
+    c.bench_function("rsa512_decrypt", |b| b.iter(|| sk.decrypt(&ct).unwrap()));
+
+    let mut group = c.benchmark_group("rsa_keygen");
+    group.sample_size(10);
+    group.bench_function("512", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| RsaPrivateKey::generate(512, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_rsa);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ledger-operation benchmarks: attach, tip selection, cumulative weight,
+//! and the chain baseline's block insertion.
+
+use biot_chain::{Block, BlockId, Blockchain};
+use biot_tangle::graph::Tangle;
+use biot_tangle::tips::{TipSelector, UniformRandomSelector, WeightedMcmcSelector};
+use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a tangle with `n` random-parent transactions.
+fn build_tangle(n: usize, seed: u64) -> Tangle {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tangle = Tangle::new();
+    tangle.attach_genesis(NodeId([0; 32]), 0);
+    for i in 0..n {
+        let (a, b) = UniformRandomSelector
+            .select_tips(&tangle, &mut rng)
+            .unwrap();
+        let tx = TransactionBuilder::new(NodeId([(i % 250) as u8; 32]))
+            .parents(a, b)
+            .payload(Payload::Data((i as u64).to_be_bytes().to_vec()))
+            .timestamp_ms(i as u64)
+            .nonce(i as u64)
+            .build();
+        tangle.attach(tx, i as u64).unwrap();
+    }
+    tangle
+}
+
+fn bench_attach(c: &mut Criterion) {
+    c.bench_function("tangle_attach_1000", |b| {
+        b.iter(|| build_tangle(1000, 1));
+    });
+}
+
+fn bench_tip_selection(c: &mut Criterion) {
+    let tangle = build_tangle(2000, 2);
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("tips_uniform_2k", |b| {
+        b.iter(|| UniformRandomSelector.select_tips(&tangle, &mut rng))
+    });
+    let small = build_tangle(200, 4);
+    let mcmc = WeightedMcmcSelector::new(0.5);
+    c.bench_function("tips_mcmc_200", |b| {
+        b.iter(|| mcmc.select_tips(&small, &mut rng))
+    });
+}
+
+fn bench_cumulative_weight(c: &mut Criterion) {
+    let tangle = build_tangle(2000, 5);
+    let genesis = tangle.genesis().unwrap();
+    c.bench_function("cumulative_weight_genesis_2k", |b| {
+        b.iter(|| tangle.cumulative_weight(&genesis))
+    });
+}
+
+fn bench_chain_blocks(c: &mut Criterion) {
+    c.bench_function("chain_add_100_blocks", |b| {
+        b.iter(|| {
+            let mut chain = Blockchain::new();
+            let mut prev = chain
+                .add_block(
+                    Block {
+                        prev: BlockId::GENESIS_PARENT,
+                        miner: NodeId([0; 32]),
+                        timestamp_ms: 0,
+                        nonce: 0,
+                        txs: vec![],
+                    },
+                    0,
+                )
+                .unwrap();
+            for i in 1..100u64 {
+                prev = chain
+                    .add_block(
+                        Block {
+                            prev,
+                            miner: NodeId([1; 32]),
+                            timestamp_ms: i,
+                            nonce: i,
+                            txs: vec![],
+                        },
+                        i,
+                    )
+                    .unwrap();
+            }
+            chain
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_attach,
+    bench_tip_selection,
+    bench_cumulative_weight,
+    bench_chain_blocks
+);
+criterion_main!(benches);

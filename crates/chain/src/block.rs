@@ -1,0 +1,207 @@
+//! Blocks and chain transactions for the satoshi-style baseline.
+
+use crate::merkle::{build_proof, merkle_root, MerkleProof};
+use biot_crypto::sha256::{sha256, to_hex};
+use biot_tangle::tx::{NodeId, Payload};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-byte block identifier (SHA-256 of the header encoding).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub [u8; 32]);
+
+impl BlockId {
+    /// The reserved parent id of the genesis block.
+    pub const GENESIS_PARENT: BlockId = BlockId([0u8; 32]);
+
+    /// Short hex form (first 8 bytes) for logs.
+    pub fn short_hex(&self) -> String {
+        to_hex(&self.0[..8])
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockId({})", self.short_hex())
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", to_hex(&self.0))
+    }
+}
+
+/// A transaction in the chain baseline: same payloads as the tangle but no
+/// parent approvals (blocks order transactions instead).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainTransaction {
+    /// Issuing node.
+    pub issuer: NodeId,
+    /// Application payload (shared with the tangle for comparability).
+    pub payload: Payload,
+    /// Issue time in virtual milliseconds.
+    pub timestamp_ms: u64,
+}
+
+impl ChainTransaction {
+    /// Canonical bytes for hashing into the block body.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.issuer.0);
+        out.extend_from_slice(&self.payload.canonical_bytes());
+        out.extend_from_slice(&self.timestamp_ms.to_be_bytes());
+        out
+    }
+
+    /// Transaction hash.
+    pub fn id(&self) -> [u8; 32] {
+        sha256(&self.canonical_bytes())
+    }
+}
+
+/// A block: header linking to the previous block plus a transaction list.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Previous block id ([`BlockId::GENESIS_PARENT`] for genesis).
+    pub prev: BlockId,
+    /// Mining node.
+    pub miner: NodeId,
+    /// Block creation time in virtual milliseconds.
+    pub timestamp_ms: u64,
+    /// PoW nonce over the header.
+    pub nonce: u64,
+    /// Ordered transactions.
+    pub txs: Vec<ChainTransaction>,
+}
+
+impl Block {
+    /// Merkle root over the transaction ids — the header commitment a
+    /// light client checks inclusion proofs against.
+    pub fn body_hash(&self) -> [u8; 32] {
+        let leaves: Vec<[u8; 32]> = self.txs.iter().map(|tx| tx.id()).collect();
+        merkle_root(&leaves)
+    }
+
+    /// Builds the SPV inclusion proof for the transaction at `index`.
+    ///
+    /// Returns `None` when `index` is out of bounds. Verify with
+    /// [`Block::verify_inclusion`] against the header's
+    /// [`body_hash`](Self::body_hash).
+    pub fn inclusion_proof(&self, index: usize) -> Option<MerkleProof> {
+        let leaves: Vec<[u8; 32]> = self.txs.iter().map(|tx| tx.id()).collect();
+        build_proof(&leaves, index)
+    }
+
+    /// Verifies that a transaction id is committed by `body_hash` under
+    /// `proof` — needs only the header, not the block body.
+    pub fn verify_inclusion(body_hash: &[u8; 32], tx_id: &[u8; 32], proof: &MerkleProof) -> bool {
+        proof.verify(body_hash, tx_id)
+    }
+
+    /// PoW pre-image: everything in the header except the nonce.
+    pub fn pow_preimage(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.prev.0);
+        out.extend_from_slice(&self.miner.0);
+        out.extend_from_slice(&self.timestamp_ms.to_be_bytes());
+        out.extend_from_slice(&self.body_hash());
+        out
+    }
+
+    /// The block id: SHA-256 over header including nonce.
+    pub fn id(&self) -> BlockId {
+        let mut data = self.pow_preimage();
+        data.extend_from_slice(&self.nonce.to_be_bytes());
+        BlockId(sha256(&data))
+    }
+
+    /// True for the genesis block.
+    pub fn is_genesis(&self) -> bool {
+        self.prev == BlockId::GENESIS_PARENT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Block {
+        Block {
+            prev: BlockId([1; 32]),
+            miner: NodeId([2; 32]),
+            timestamp_ms: 42,
+            nonce: 7,
+            txs: vec![ChainTransaction {
+                issuer: NodeId([3; 32]),
+                payload: Payload::Data(b"x".to_vec()),
+                timestamp_ms: 40,
+            }],
+        }
+    }
+
+    #[test]
+    fn block_id_deterministic_and_sensitive() {
+        let b = sample_block();
+        assert_eq!(b.id(), sample_block().id());
+        let mut b2 = sample_block();
+        b2.nonce = 8;
+        assert_ne!(b2.id(), b.id());
+        let mut b3 = sample_block();
+        b3.txs[0].timestamp_ms = 41;
+        assert_ne!(b3.id(), b.id());
+    }
+
+    #[test]
+    fn body_hash_covers_all_txs() {
+        let mut b = sample_block();
+        let h1 = b.body_hash();
+        b.txs.push(ChainTransaction {
+            issuer: NodeId([4; 32]),
+            payload: Payload::Data(b"y".to_vec()),
+            timestamp_ms: 41,
+        });
+        assert_ne!(b.body_hash(), h1);
+    }
+
+    #[test]
+    fn genesis_detection() {
+        let mut b = sample_block();
+        assert!(!b.is_genesis());
+        b.prev = BlockId::GENESIS_PARENT;
+        assert!(b.is_genesis());
+    }
+
+    #[test]
+    fn spv_inclusion_proof_roundtrip() {
+        let mut b = sample_block();
+        for i in 0..5u8 {
+            b.txs.push(ChainTransaction {
+                issuer: NodeId([i; 32]),
+                payload: Payload::Data(vec![i]),
+                timestamp_ms: i as u64,
+            });
+        }
+        let root = b.body_hash();
+        for (i, tx) in b.txs.iter().enumerate() {
+            let proof = b.inclusion_proof(i).unwrap();
+            assert!(Block::verify_inclusion(&root, &tx.id(), &proof));
+            assert!(!Block::verify_inclusion(&root, &[0xEE; 32], &proof));
+        }
+        assert!(b.inclusion_proof(b.txs.len()).is_none());
+    }
+
+    #[test]
+    fn tx_id_depends_on_payload() {
+        let tx1 = ChainTransaction {
+            issuer: NodeId([1; 32]),
+            payload: Payload::Data(b"a".to_vec()),
+            timestamp_ms: 0,
+        };
+        let tx2 = ChainTransaction {
+            payload: Payload::Data(b"b".to_vec()),
+            ..tx1.clone()
+        };
+        assert_ne!(tx1.id(), tx2.id());
+    }
+}

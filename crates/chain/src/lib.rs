@@ -1,0 +1,43 @@
+//! # biot-chain
+//!
+//! A satoshi-style, chain-structured blockchain (paper §II-A, Fig 1): the
+//! synchronous-consensus baseline B-IoT's DAG substrate is compared
+//! against. Blocks form a tree; the longest branch is the main chain;
+//! transactions in fork losers are wasted work.
+//!
+//! This crate exists for the throughput ablation (experiment A1 in
+//! DESIGN.md): the same workload is driven through [`Blockchain`] and
+//! through `biot_tangle::Tangle`, and effective transactions-per-second are
+//! compared.
+//!
+//! ```
+//! use biot_chain::{Block, BlockId, Blockchain, ChainTransaction};
+//! use biot_tangle::tx::{NodeId, Payload};
+//!
+//! let mut chain = Blockchain::new();
+//! chain.add_block(Block {
+//!     prev: BlockId::GENESIS_PARENT,
+//!     miner: NodeId([0; 32]),
+//!     timestamp_ms: 0,
+//!     nonce: 0,
+//!     txs: vec![],
+//! }, 0)?;
+//! chain.submit_tx(ChainTransaction {
+//!     issuer: NodeId([1; 32]),
+//!     payload: Payload::Data(b"reading".to_vec()),
+//!     timestamp_ms: 5,
+//! });
+//! chain.mine_on_head(NodeId([2; 32]), 100, 10, 1).unwrap()?;
+//! assert_eq!(chain.main_chain_tx_count(), 1);
+//! # Ok::<(), biot_chain::ChainError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod chain;
+pub mod merkle;
+
+pub use block::{Block, BlockId, ChainTransaction};
+pub use chain::{Blockchain, ChainError};

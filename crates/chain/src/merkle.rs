@@ -1,0 +1,218 @@
+//! Merkle trees over block bodies, with inclusion proofs.
+//!
+//! The chain baseline's block body hash is a Merkle root, so a light
+//! client can verify that a transaction is inside a block from the header
+//! plus a logarithmic proof — the standard SPV construction.
+
+use biot_crypto::sha256::{sha256, sha256_concat};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Domain separators so a leaf can never be reinterpreted as an interior
+/// node (defends against the classic CVE-2012-2459-style ambiguity).
+const LEAF_TAG: &[u8; 1] = &[0x00];
+const NODE_TAG: &[u8; 1] = &[0x01];
+
+fn leaf_hash(data: &[u8; 32]) -> [u8; 32] {
+    sha256_concat(&[LEAF_TAG, data])
+}
+
+fn node_hash(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
+    sha256_concat(&[NODE_TAG, left, right])
+}
+
+/// Computes the Merkle root of `leaves` (32-byte items, e.g. tx ids).
+///
+/// The empty list hashes to `SHA-256("")`-of-tag — a fixed sentinel — so
+/// empty blocks still have a well-defined body hash. An odd node at any
+/// level is paired with itself.
+pub fn merkle_root(leaves: &[[u8; 32]]) -> [u8; 32] {
+    if leaves.is_empty() {
+        return sha256(LEAF_TAG);
+    }
+    let mut level: Vec<[u8; 32]> = leaves.iter().map(leaf_hash).collect();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                node_hash(&pair[0], right)
+            })
+            .collect();
+    }
+    level[0]
+}
+
+/// One step of an inclusion proof: the sibling hash and which side it
+/// sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProofStep {
+    /// True when the sibling is the *left* input of the parent hash.
+    pub sibling_is_left: bool,
+    /// The sibling hash.
+    pub hash: [u8; 32],
+}
+
+/// A Merkle inclusion proof for one leaf.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    steps: Vec<ProofStep>,
+}
+
+impl MerkleProof {
+    /// The proof length (tree height).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for a single-leaf tree's empty proof.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Recomputes the root implied by `leaf` under this proof.
+    pub fn implied_root(&self, leaf: &[u8; 32]) -> [u8; 32] {
+        let mut acc = leaf_hash(leaf);
+        for step in &self.steps {
+            acc = if step.sibling_is_left {
+                node_hash(&step.hash, &acc)
+            } else {
+                node_hash(&acc, &step.hash)
+            };
+        }
+        acc
+    }
+
+    /// Verifies that `leaf` is included under `root`.
+    pub fn verify(&self, root: &[u8; 32], leaf: &[u8; 32]) -> bool {
+        self.implied_root(leaf) == *root
+    }
+}
+
+impl fmt::Display for MerkleProof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MerkleProof({} steps)", self.steps.len())
+    }
+}
+
+/// Builds the inclusion proof for `index` within `leaves`.
+///
+/// Returns `None` when `index` is out of bounds or `leaves` is empty.
+pub fn build_proof(leaves: &[[u8; 32]], index: usize) -> Option<MerkleProof> {
+    if index >= leaves.len() {
+        return None;
+    }
+    let mut steps = Vec::new();
+    let mut level: Vec<[u8; 32]> = leaves.iter().map(leaf_hash).collect();
+    let mut idx = index;
+    while level.len() > 1 {
+        let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+        let sibling = *level.get(sibling_idx).unwrap_or(&level[idx]); // odd: self
+        steps.push(ProofStep {
+            sibling_is_left: idx % 2 == 1,
+            hash: sibling,
+        });
+        level = level
+            .chunks(2)
+            .map(|pair| {
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                node_hash(&pair[0], right)
+            })
+            .collect();
+        idx /= 2;
+    }
+    Some(MerkleProof { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn leaves(n: usize) -> Vec<[u8; 32]> {
+        (0..n).map(|i| [i as u8; 32]).collect()
+    }
+
+    #[test]
+    fn empty_and_single_leaf_roots() {
+        assert_eq!(merkle_root(&[]), sha256(&[0x00]));
+        let one = leaves(1);
+        assert_eq!(merkle_root(&one), leaf_hash(&one[0]));
+        let proof = build_proof(&one, 0).unwrap();
+        assert!(proof.is_empty());
+        assert!(proof.verify(&merkle_root(&one), &one[0]));
+    }
+
+    #[test]
+    fn proofs_verify_for_every_leaf_and_size() {
+        for n in 1..=17 {
+            let ls = leaves(n);
+            let root = merkle_root(&ls);
+            for (i, leaf) in ls.iter().enumerate() {
+                let proof = build_proof(&ls, i).unwrap();
+                assert!(proof.verify(&root, leaf), "n={n} i={i}");
+                // Wrong leaf fails.
+                assert!(!proof.verify(&root, &[0xEE; 32]), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_proof_is_none() {
+        assert!(build_proof(&leaves(3), 3).is_none());
+        assert!(build_proof(&[], 0).is_none());
+    }
+
+    #[test]
+    fn root_changes_with_any_leaf() {
+        let ls = leaves(8);
+        let root = merkle_root(&ls);
+        for i in 0..ls.len() {
+            let mut tampered = ls.clone();
+            tampered[i][0] ^= 1;
+            assert_ne!(merkle_root(&tampered), root, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn root_changes_with_order_and_count() {
+        let ls = leaves(4);
+        let mut swapped = ls.clone();
+        swapped.swap(0, 1);
+        assert_ne!(merkle_root(&swapped), merkle_root(&ls));
+        assert_ne!(merkle_root(&ls[..3]), merkle_root(&ls));
+    }
+
+    #[test]
+    fn domain_separation_prevents_node_as_leaf() {
+        // A two-leaf root must differ from a single leaf whose content is
+        // the concatenation-hash — the tags force different preimages.
+        let ls = leaves(2);
+        let root = merkle_root(&ls);
+        let fake_leaf = node_hash(&leaf_hash(&ls[0]), &leaf_hash(&ls[1]));
+        assert_ne!(merkle_root(&[fake_leaf]), root);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_every_proof_verifies(
+            n in 1usize..40,
+            seed in any::<u8>(),
+        ) {
+            let ls: Vec<[u8; 32]> = (0..n)
+                .map(|i| {
+                    let mut l = [seed; 32];
+                    l[0] = i as u8;
+                    l[1] = (i >> 8) as u8;
+                    l
+                })
+                .collect();
+            let root = merkle_root(&ls);
+            for i in 0..n {
+                let proof = build_proof(&ls, i).unwrap();
+                prop_assert!(proof.verify(&root, &ls[i]));
+            }
+        }
+    }
+}

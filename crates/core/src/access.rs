@@ -1,0 +1,351 @@
+//! Data authority management (paper §IV-C): sensitive sensor data is
+//! AES-encrypted before it reaches the transparent ledger; only key
+//! holders can read it.
+
+use biot_crypto::aes::{Aes, AesError, AesKey};
+use biot_crypto::rng::random_iv;
+use biot_tangle::tx::Payload;
+use rand::Rng;
+use std::fmt;
+
+/// Whether a device's readings need confidentiality.
+///
+/// "The function of each device is relatively fixed. For those devices
+/// whose collected non-sensitive data, they do not need to encrypt sensor
+/// data" (§IV-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sensitivity {
+    /// Posted in the clear.
+    Public,
+    /// Encrypted under the distributed session key.
+    Sensitive,
+}
+
+/// Errors from opening a protected payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AccessError {
+    /// The payload is encrypted but this protector holds no key.
+    NoKey,
+    /// Decryption failed (wrong key or corrupted ciphertext).
+    Decrypt(AesError),
+    /// The payload variant carries no sensor data.
+    NotData,
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::NoKey => write!(f, "no session key held for encrypted data"),
+            AccessError::Decrypt(e) => write!(f, "decryption failed: {e}"),
+            AccessError::NotData => write!(f, "payload carries no sensor data"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// Seals and opens sensor readings according to a device's sensitivity
+/// class and (optionally held) session key.
+///
+/// # Examples
+///
+/// ```
+/// use biot_core::access::{DataProtector, Sensitivity};
+/// use biot_crypto::aes::AesKey;
+///
+/// let key = AesKey::Aes256([7; 32]);
+/// let mut rng = rand::thread_rng();
+///
+/// let sensor = DataProtector::sensitive(key.clone());
+/// let payload = sensor.seal(b"pressure=2.4bar", &mut rng);
+/// // An authorized consumer with the key can read it…
+/// let consumer = DataProtector::sensitive(key);
+/// assert_eq!(consumer.open(&payload).unwrap(), b"pressure=2.4bar");
+/// // …an outsider cannot.
+/// let outsider = DataProtector::public();
+/// assert!(outsider.open(&payload).is_err());
+/// ```
+#[derive(Clone)]
+pub struct DataProtector {
+    sensitivity: Sensitivity,
+    key: Option<AesKey>,
+}
+
+impl fmt::Debug for DataProtector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataProtector")
+            .field("sensitivity", &self.sensitivity)
+            .field("has_key", &self.key.is_some())
+            .finish()
+    }
+}
+
+impl DataProtector {
+    /// A protector for non-sensitive data: readings pass through in the
+    /// clear.
+    pub fn public() -> Self {
+        Self {
+            sensitivity: Sensitivity::Public,
+            key: None,
+        }
+    }
+
+    /// A protector for sensitive data holding the distributed session key.
+    pub fn sensitive(key: AesKey) -> Self {
+        Self {
+            sensitivity: Sensitivity::Sensitive,
+            key: Some(key),
+        }
+    }
+
+    /// The sensitivity class.
+    pub fn sensitivity(&self) -> Sensitivity {
+        self.sensitivity
+    }
+
+    /// Installs or rotates the session key (a re-run of the Fig 4
+    /// handshake), upgrading the protector to sensitive.
+    pub fn install_key(&mut self, key: AesKey) {
+        self.key = Some(key);
+        self.sensitivity = Sensitivity::Sensitive;
+    }
+
+    /// Wraps a sensor reading into a ledger payload: plaintext for public
+    /// devices, AES-CBC ciphertext with a fresh IV for sensitive ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protector is [`Sensitivity::Sensitive`] but holds no
+    /// key — construct such devices via [`DataProtector::sensitive`] or
+    /// [`install_key`](Self::install_key) first.
+    pub fn seal<R: Rng + ?Sized>(&self, reading: &[u8], rng: &mut R) -> Payload {
+        match self.sensitivity {
+            Sensitivity::Public => Payload::Data(reading.to_vec()),
+            Sensitivity::Sensitive => {
+                let key = self
+                    .key
+                    .as_ref()
+                    .expect("sensitive protector must hold a key");
+                let iv = random_iv(rng);
+                let ciphertext = Aes::new(key).encrypt_cbc(reading, &iv);
+                Payload::EncryptedData { iv, ciphertext }
+            }
+        }
+    }
+
+    /// Recovers the sensor reading from a ledger payload.
+    ///
+    /// # Errors
+    ///
+    /// * [`AccessError::NotData`] for non-sensor payloads.
+    /// * [`AccessError::NoKey`] when the payload is encrypted and no key is
+    ///   held — the confidentiality guarantee in action.
+    /// * [`AccessError::Decrypt`] for a wrong key or corrupted ciphertext.
+    pub fn open(&self, payload: &Payload) -> Result<Vec<u8>, AccessError> {
+        match payload {
+            Payload::Data(d) => Ok(d.clone()),
+            Payload::EncryptedData { iv, ciphertext } => {
+                let key = self.key.as_ref().ok_or(AccessError::NoKey)?;
+                Aes::new(key)
+                    .decrypt_cbc(ciphertext, iv)
+                    .map_err(AccessError::Decrypt)
+            }
+            _ => Err(AccessError::NotData),
+        }
+    }
+}
+
+/// Epoch-based key rotation on top of a single distributed master key.
+///
+/// The Fig 4 handshake distributes one symmetric key per device. Rather
+/// than re-running the handshake to rotate keys, both sides derive
+/// per-epoch keys from the master with HKDF — forward rotation without
+/// extra round trips. (An extension beyond the paper; its §IV-C notes the
+/// scheme "is flexible to update symmetric keys if needed".)
+///
+/// # Examples
+///
+/// ```
+/// use biot_core::access::EpochKeyring;
+/// use biot_crypto::aes::AesKey;
+///
+/// let master = AesKey::Aes256([9; 32]);
+/// let device = EpochKeyring::new(master.clone(), b"factory-7");
+/// let consumer = EpochKeyring::new(master, b"factory-7");
+/// assert_eq!(
+///     device.key_for_epoch(3).as_bytes(),
+///     consumer.key_for_epoch(3).as_bytes()
+/// );
+/// assert_ne!(
+///     device.key_for_epoch(3).as_bytes(),
+///     device.key_for_epoch(4).as_bytes()
+/// );
+/// ```
+#[derive(Clone)]
+pub struct EpochKeyring {
+    master: AesKey,
+    context: Vec<u8>,
+}
+
+impl fmt::Debug for EpochKeyring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochKeyring")
+            .field("context_len", &self.context.len())
+            .finish()
+    }
+}
+
+impl EpochKeyring {
+    /// Creates a keyring over a distributed master key and a deployment
+    /// context string (bound into every derived key).
+    pub fn new(master: AesKey, context: &[u8]) -> Self {
+        Self {
+            master,
+            context: context.to_vec(),
+        }
+    }
+
+    /// Derives the AES-256 key for `epoch`.
+    pub fn key_for_epoch(&self, epoch: u64) -> AesKey {
+        let mut info = self.context.clone();
+        info.extend_from_slice(b"|epoch|");
+        info.extend_from_slice(&epoch.to_be_bytes());
+        let okm = biot_crypto::kdf::hkdf(None, self.master.as_bytes(), &info, 32);
+        AesKey::from_bytes(&okm).expect("32-byte HKDF output is a valid key")
+    }
+
+    /// A [`DataProtector`] sealed to `epoch`.
+    pub fn protector_for_epoch(&self, epoch: u64) -> DataProtector {
+        DataProtector::sensitive(self.key_for_epoch(epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biot_tangle::tx::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn epoch_keys_rotate_and_agree() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let master = AesKey::Aes256([3; 32]);
+        let a = EpochKeyring::new(master.clone(), b"line-1");
+        let b = EpochKeyring::new(master.clone(), b"line-1");
+        let other_ctx = EpochKeyring::new(master, b"line-2");
+        // Same master+context+epoch → same key on both sides.
+        let sealer = a.protector_for_epoch(7);
+        let opener = b.protector_for_epoch(7);
+        let payload = sealer.seal(b"batch 42 recipe", &mut rng);
+        assert_eq!(opener.open(&payload).unwrap(), b"batch 42 recipe");
+        // A different epoch or context cannot read it.
+        for wrong in [a.protector_for_epoch(8), other_ctx.protector_for_epoch(7)] {
+            match wrong.open(&payload) {
+                Err(_) => {}
+                Ok(pt) => assert_ne!(pt, b"batch 42 recipe".to_vec()),
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_keys_differ_from_master() {
+        let master = AesKey::Aes256([5; 32]);
+        let ring = EpochKeyring::new(master.clone(), b"ctx");
+        assert_ne!(ring.key_for_epoch(0).as_bytes(), master.as_bytes());
+    }
+
+    fn key(b: u8) -> AesKey {
+        AesKey::Aes256([b; 32])
+    }
+
+    #[test]
+    fn public_data_passes_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = DataProtector::public();
+        let payload = p.seal(b"temp=20C", &mut rng);
+        assert_eq!(payload, Payload::Data(b"temp=20C".to_vec()));
+        assert_eq!(p.open(&payload).unwrap(), b"temp=20C");
+    }
+
+    #[test]
+    fn sensitive_data_is_ciphertext_on_ledger() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = DataProtector::sensitive(key(1));
+        let payload = p.seal(b"formula=secret", &mut rng);
+        match &payload {
+            Payload::EncryptedData { ciphertext, .. } => {
+                assert!(!ciphertext
+                    .windows(b"secret".len())
+                    .any(|w| w == b"secret"));
+            }
+            other => panic!("expected encrypted payload, got {other:?}"),
+        }
+        assert_eq!(p.open(&payload).unwrap(), b"formula=secret");
+    }
+
+    #[test]
+    fn key_holder_reads_outsider_cannot() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let device = DataProtector::sensitive(key(1));
+        let payload = device.seal(b"secret", &mut rng);
+        let authorized = DataProtector::sensitive(key(1));
+        assert_eq!(authorized.open(&payload).unwrap(), b"secret");
+        let no_key = DataProtector::public();
+        assert_eq!(no_key.open(&payload), Err(AccessError::NoKey));
+        let wrong_key = DataProtector::sensitive(key(2));
+        assert!(matches!(
+            wrong_key.open(&payload),
+            Err(AccessError::Decrypt(_)) | Ok(_)
+        ));
+        if let Ok(pt) = wrong_key.open(&payload) {
+            assert_ne!(pt, b"secret");
+        }
+    }
+
+    #[test]
+    fn fresh_iv_per_seal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = DataProtector::sensitive(key(1));
+        let a = p.seal(b"same reading", &mut rng);
+        let b = p.seal(b"same reading", &mut rng);
+        assert_ne!(a, b, "equal plaintexts must not produce equal payloads");
+    }
+
+    #[test]
+    fn install_key_upgrades_to_sensitive() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = DataProtector::public();
+        assert_eq!(p.sensitivity(), Sensitivity::Public);
+        p.install_key(key(3));
+        assert_eq!(p.sensitivity(), Sensitivity::Sensitive);
+        let payload = p.seal(b"now secret", &mut rng);
+        assert!(matches!(payload, Payload::EncryptedData { .. }));
+    }
+
+    #[test]
+    fn non_data_payloads_rejected() {
+        let p = DataProtector::public();
+        let spend = Payload::Spend {
+            token: [0; 32],
+            to: NodeId([0; 32]),
+        };
+        assert_eq!(p.open(&spend), Err(AccessError::NotData));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sensitive_without_key_panics_on_seal() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Construct an invalid state deliberately via install-then-strip is
+        // impossible through the public API; simulate by building a public
+        // protector and forcing sensitivity. The only route is internal, so
+        // we exercise the panic through a sensitive protector with a
+        // stripped key using the struct literal in this test module.
+        let p = DataProtector {
+            sensitivity: Sensitivity::Sensitive,
+            key: None,
+        };
+        let _ = p.seal(b"x", &mut rng);
+    }
+}

@@ -1,0 +1,247 @@
+//! Blockchain-based device management (paper §IV-A, Eqn 1).
+//!
+//! The manager publishes `TX = Sign_SKM(PK_d1, …, PK_dn)` — a signed list
+//! of authorized device identities. The manager's public key is hard-coded
+//! into the genesis configuration, so gateways can always discriminate a
+//! genuine list. Requests from identities outside the list are refused,
+//! which blunts Sybil and DDoS attacks at admission (§VI-C).
+
+use biot_crypto::rsa::RsaPublicKey;
+use biot_tangle::tx::{NodeId, Payload};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors from applying an authorization update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuthError {
+    /// The signature does not verify under the manager's key.
+    BadSignature,
+    /// The payload is not an [`Payload::AuthList`].
+    NotAnAuthList,
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::BadSignature => write!(f, "authorization list signature invalid"),
+            AuthError::NotAnAuthList => write!(f, "payload is not an authorization list"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// The canonical message the manager signs: the concatenated device ids
+/// (Eqn 1's `PK_d1 … PK_dn`).
+pub fn auth_list_message(devices: &[NodeId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(devices.len() * 32 + 8);
+    out.extend_from_slice(b"AUTHLIST");
+    for d in devices {
+        out.extend_from_slice(&d.0);
+    }
+    out
+}
+
+/// Builds the signed authorization-list payload (manager side).
+pub fn build_auth_list(
+    devices: Vec<NodeId>,
+    manager: &crate::identity::Account,
+) -> Payload {
+    let signature = manager.sign(&auth_list_message(&devices));
+    Payload::AuthList { devices, signature }
+}
+
+/// Gateway-side view of the current authorization list.
+///
+/// The genesis configuration pins the manager's public key; every list
+/// update must verify against it. Later lists *replace* earlier ones, so
+/// deauthorization is simply publishing a list without the device.
+///
+/// # Examples
+///
+/// ```
+/// use biot_core::authz::{build_auth_list, AuthRegistry};
+/// use biot_core::identity::Account;
+/// use biot_tangle::tx::NodeId;
+///
+/// let mut rng = rand::thread_rng();
+/// let manager = Account::generate(&mut rng);
+/// let device = NodeId([7; 32]);
+///
+/// let mut registry = AuthRegistry::new(manager.public_key().clone());
+/// let update = build_auth_list(vec![device], &manager);
+/// registry.apply(&update)?;
+/// assert!(registry.is_authorized(&device));
+/// # Ok::<(), biot_core::authz::AuthError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AuthRegistry {
+    /// Trusted manager keys; the first is the genesis-pinned primary.
+    manager_pks: Vec<RsaPublicKey>,
+    /// Authorized devices, tracked per signing manager so each factory's
+    /// manager owns its own list (a later list from manager A replaces
+    /// A's devices without touching B's).
+    authorized: HashMap<NodeId, HashSet<NodeId>>,
+    /// Number of list updates applied.
+    version: u64,
+}
+
+impl AuthRegistry {
+    /// Creates a registry trusting `manager_pk` (the genesis-pinned key).
+    pub fn new(manager_pk: RsaPublicKey) -> Self {
+        Self {
+            manager_pks: vec![manager_pk],
+            authorized: HashMap::new(),
+            version: 0,
+        }
+    }
+
+    /// Trusts an additional manager key. The paper's architecture permits
+    /// "one or more managers" per factory (§IV-A); additional managers can
+    /// only be introduced by an operator action, never on-ledger, so a
+    /// compromised manager cannot mint peers.
+    pub fn trust_manager(&mut self, pk: RsaPublicKey) {
+        if !self.manager_pks.contains(&pk) {
+            self.manager_pks.push(pk);
+        }
+    }
+
+    /// All trusted manager keys.
+    pub fn manager_pks(&self) -> &[RsaPublicKey] {
+        &self.manager_pks
+    }
+
+    /// Applies an authorization-list payload after verifying the
+    /// manager's signature.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::NotAnAuthList`] for other payload kinds,
+    /// [`AuthError::BadSignature`] when verification fails (forged or
+    /// tampered list).
+    pub fn apply(&mut self, payload: &Payload) -> Result<(), AuthError> {
+        let Payload::AuthList { devices, signature } = payload else {
+            return Err(AuthError::NotAnAuthList);
+        };
+        let msg = auth_list_message(devices);
+        let Some(signer) = self
+            .manager_pks
+            .iter()
+            .find(|pk| pk.verify(&msg, signature))
+        else {
+            return Err(AuthError::BadSignature);
+        };
+        let signer_id = NodeId(signer.fingerprint());
+        self.authorized
+            .insert(signer_id, devices.iter().copied().collect());
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Whether `device` is currently authorized by any trusted manager.
+    pub fn is_authorized(&self, device: &NodeId) -> bool {
+        self.authorized.values().any(|set| set.contains(device))
+    }
+
+    /// Number of distinct authorized devices across all managers.
+    pub fn len(&self) -> usize {
+        let mut union = HashSet::new();
+        for set in self.authorized.values() {
+            union.extend(set.iter().copied());
+        }
+        union.len()
+    }
+
+    /// True when no devices are authorized.
+    pub fn is_empty(&self) -> bool {
+        self.authorized.values().all(|s| s.is_empty())
+    }
+
+    /// How many list updates have been applied.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The primary (genesis-pinned) manager key.
+    pub fn manager_pk(&self) -> &RsaPublicKey {
+        &self.manager_pks[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Account;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Account, AuthRegistry, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let manager = Account::generate(&mut rng);
+        let reg = AuthRegistry::new(manager.public_key().clone());
+        (manager, reg, rng)
+    }
+
+    #[test]
+    fn authorize_and_deauthorize() {
+        let (manager, mut reg, _) = setup();
+        let d1 = NodeId([1; 32]);
+        let d2 = NodeId([2; 32]);
+        reg.apply(&build_auth_list(vec![d1, d2], &manager)).unwrap();
+        assert!(reg.is_authorized(&d1));
+        assert!(reg.is_authorized(&d2));
+        assert_eq!(reg.len(), 2);
+        // Deauthorize d2 by publishing a list without it.
+        reg.apply(&build_auth_list(vec![d1], &manager)).unwrap();
+        assert!(reg.is_authorized(&d1));
+        assert!(!reg.is_authorized(&d2));
+        assert_eq!(reg.version(), 2);
+    }
+
+    #[test]
+    fn forged_list_rejected() {
+        let (_manager, mut reg, mut rng) = setup();
+        let imposter = Account::generate(&mut rng);
+        let forged = build_auth_list(vec![NodeId([9; 32])], &imposter);
+        assert_eq!(reg.apply(&forged), Err(AuthError::BadSignature));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn tampered_list_rejected() {
+        let (manager, mut reg, _) = setup();
+        let good = build_auth_list(vec![NodeId([1; 32])], &manager);
+        let Payload::AuthList { signature, .. } = &good else { unreachable!() };
+        // Swap in a different device set, keep the old signature.
+        let tampered = Payload::AuthList {
+            devices: vec![NodeId([66; 32])],
+            signature: signature.clone(),
+        };
+        assert_eq!(reg.apply(&tampered), Err(AuthError::BadSignature));
+    }
+
+    #[test]
+    fn wrong_payload_kind_rejected() {
+        let (_, mut reg, _) = setup();
+        assert_eq!(
+            reg.apply(&Payload::Data(b"not a list".to_vec())),
+            Err(AuthError::NotAnAuthList)
+        );
+    }
+
+    #[test]
+    fn empty_list_revokes_everyone() {
+        let (manager, mut reg, _) = setup();
+        let d = NodeId([1; 32]);
+        reg.apply(&build_auth_list(vec![d], &manager)).unwrap();
+        reg.apply(&build_auth_list(vec![], &manager)).unwrap();
+        assert!(!reg.is_authorized(&d));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn unknown_device_not_authorized() {
+        let (_, reg, _) = setup();
+        assert!(!reg.is_authorized(&NodeId([5; 32])));
+    }
+}

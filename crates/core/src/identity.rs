@@ -1,0 +1,119 @@
+//! Node identities: blockchain accounts backed by RSA keypairs.
+//!
+//! "Each sensor will generate a blockchain account when initialized, i.e.,
+//! a pair of public/secret key (PK, SK), which is the unique identifier in
+//! the system" (§IV-A). The key pair signs transactions and bootstraps the
+//! symmetric key distribution of §IV-C.
+
+use biot_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use biot_tangle::tx::NodeId;
+use rand::Rng;
+use std::fmt;
+
+/// Default RSA modulus size for simulated devices.
+///
+/// 512 bits keeps virtual-time experiments fast; real deployments would
+/// use ≥ 2048.
+pub const DEFAULT_KEY_BITS: usize = 512;
+
+/// A node account: keypair plus the derived on-ledger identity.
+#[derive(Clone)]
+pub struct Account {
+    key: RsaPrivateKey,
+    id: NodeId,
+}
+
+impl fmt::Debug for Account {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Account").field("id", &self.id).finish()
+    }
+}
+
+impl Account {
+    /// Generates a fresh account with [`DEFAULT_KEY_BITS`].
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::generate_with_bits(DEFAULT_KEY_BITS, rng)
+    }
+
+    /// Generates a fresh account with an explicit modulus size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 128` (see [`RsaPrivateKey::generate`]).
+    pub fn generate_with_bits<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        let key = RsaPrivateKey::generate(bits, rng);
+        let id = NodeId(key.public().fingerprint());
+        Self { key, id }
+    }
+
+    /// The on-ledger identity (public-key fingerprint).
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.key.public()
+    }
+
+    /// The private key (for signing and decryption).
+    pub fn private_key(&self) -> &RsaPrivateKey {
+        &self.key
+    }
+
+    /// Signs `message` with the account's secret key.
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        self.key.sign(message)
+    }
+
+    /// Verifies a signature allegedly made by the holder of `pk`.
+    pub fn verify_with(pk: &RsaPublicKey, message: &[u8], signature: &[u8]) -> bool {
+        pk.verify(message, signature)
+    }
+}
+
+/// Derives a [`NodeId`] from a public key — how gateways identify peers
+/// they only know by key.
+pub fn node_id_of(pk: &RsaPublicKey) -> NodeId {
+    NodeId(pk.fingerprint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn id_matches_public_key_fingerprint() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let acct = Account::generate(&mut rng);
+        assert_eq!(acct.id(), node_id_of(acct.public_key()));
+    }
+
+    #[test]
+    fn accounts_are_unique() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Account::generate(&mut rng);
+        let b = Account::generate(&mut rng);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn sign_verify_through_account() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let acct = Account::generate(&mut rng);
+        let sig = acct.sign(b"register device");
+        assert!(Account::verify_with(acct.public_key(), b"register device", &sig));
+        assert!(!Account::verify_with(acct.public_key(), b"other", &sig));
+    }
+
+    #[test]
+    fn debug_shows_only_id() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let acct = Account::generate(&mut rng);
+        let s = format!("{acct:?}");
+        assert!(s.contains("id"));
+        assert!(!s.to_lowercase().contains("private"));
+    }
+}

@@ -1,0 +1,612 @@
+//! Symmetric secret-key distribution without a central trust server
+//! (paper §IV-C, Fig 4).
+//!
+//! Three messages establish a shared AES session key `SK_S` between the
+//! manager and an IoT device, using the nodes' existing RSA keypairs:
+//!
+//! ```text
+//! M1  manager → device : Enc_PKd(SK_S ‖ TS ‖ nonce_a),  Sign_SKm(…)
+//! M2  device  → manager: Enc_SKs(nonce_b ‖ TS+1 ‖ nonce_a ‖ Sign_SKd(nonce_b ‖ TS+1))
+//! M3  manager → device : Enc_SKs(nonce_b ‖ TS+2 ‖ Sign_SKm(nonce_b ‖ TS+2))
+//! ```
+//!
+//! * Every message is signed, so tampering is detected.
+//! * `TS` bounds each message's lifetime, resisting replay.
+//! * `nonce_a` is a challenge proving the device decrypted M1;
+//!   `nonce_b` is a challenge proving the manager holds the same `SK_S`.
+//!
+//! One deviation from the figure: the paper signs the plaintext *inside*
+//! the RSA envelope of M1, but `sign(SK_S‖TS‖nonce)` plus the payload
+//! exceeds a small RSA modulus. We sign the *ciphertext* instead
+//! (encrypt-then-sign), which provides the same integrity and origin
+//! authentication and is the textbook-recommended composition.
+
+use crate::identity::Account;
+use biot_crypto::aes::{Aes, AesKey};
+use biot_crypto::rng::{random_aes256_key, random_iv, random_nonce};
+use biot_crypto::rsa::RsaPublicKey;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Protocol configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyDistConfig {
+    /// Maximum acceptable age (or clock skew) of a message, in virtual ms.
+    pub freshness_window_ms: u64,
+}
+
+impl Default for KeyDistConfig {
+    fn default() -> Self {
+        Self {
+            freshness_window_ms: 5_000,
+        }
+    }
+}
+
+/// Errors raised by either side of the handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyDistError {
+    /// A signature failed to verify.
+    BadSignature,
+    /// A timestamp fell outside the freshness window (replay or skew).
+    StaleTimestamp {
+        /// The message's timestamp.
+        got: u64,
+        /// The receiver's current time.
+        now: u64,
+    },
+    /// A challenge nonce did not match.
+    NonceMismatch,
+    /// Asymmetric or symmetric decryption failed.
+    DecryptFailed,
+    /// The message body did not parse.
+    Malformed,
+    /// The session is not in the right state for this message.
+    WrongState,
+}
+
+impl fmt::Display for KeyDistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyDistError::BadSignature => write!(f, "signature verification failed"),
+            KeyDistError::StaleTimestamp { got, now } => {
+                write!(f, "stale timestamp {got} at local time {now}")
+            }
+            KeyDistError::NonceMismatch => write!(f, "challenge nonce mismatch"),
+            KeyDistError::DecryptFailed => write!(f, "decryption failed"),
+            KeyDistError::Malformed => write!(f, "malformed message"),
+            KeyDistError::WrongState => write!(f, "message arrived in the wrong protocol state"),
+        }
+    }
+}
+
+impl std::error::Error for KeyDistError {}
+
+/// M1: RSA envelope carrying the session key, signed by the manager.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message1 {
+    /// `Enc_PKd(SK_S ‖ TS ‖ nonce_a)`.
+    pub ciphertext: Vec<u8>,
+    /// `Sign_SKm(ciphertext)`.
+    pub signature: Vec<u8>,
+}
+
+/// M2: AES envelope proving the device decrypted M1.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message2 {
+    /// CBC initialization vector.
+    pub iv: [u8; 16],
+    /// `Enc_SKs(nonce_b ‖ TS+1 ‖ nonce_a ‖ Sign_SKd(nonce_b ‖ TS+1))`.
+    pub ciphertext: Vec<u8>,
+}
+
+/// M3: AES envelope closing the handshake.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message3 {
+    /// CBC initialization vector.
+    pub iv: [u8; 16],
+    /// `Enc_SKs(nonce_b ‖ TS+2 ‖ Sign_SKm(nonce_b ‖ TS+2))`.
+    pub ciphertext: Vec<u8>,
+}
+
+const KEY_LEN: usize = 32;
+const TS_LEN: usize = 8;
+const NONCE_LEN: usize = 8;
+
+fn check_fresh(ts: u64, now: u64, cfg: &KeyDistConfig) -> Result<(), KeyDistError> {
+    if ts.abs_diff(now) > cfg.freshness_window_ms {
+        Err(KeyDistError::StaleTimestamp { got: ts, now })
+    } else {
+        Ok(())
+    }
+}
+
+/// Manager-side handshake state.
+pub struct ManagerSession {
+    session_key: AesKey,
+    nonce_a: [u8; NONCE_LEN],
+    ts: u64,
+    completed: bool,
+}
+
+impl fmt::Debug for ManagerSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ManagerSession")
+            .field("ts", &self.ts)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl ManagerSession {
+    /// Generates a fresh session key and builds M1 for `device_pk`.
+    ///
+    /// `now_ms` is the manager's virtual clock; it becomes the protocol's
+    /// base timestamp `TS`.
+    pub fn initiate<R: Rng + ?Sized>(
+        manager: &Account,
+        device_pk: &RsaPublicKey,
+        now_ms: u64,
+        rng: &mut R,
+    ) -> (Self, Message1) {
+        let session_key = random_aes256_key(rng);
+        let nonce_a = random_nonce(rng);
+        let mut plaintext = Vec::with_capacity(KEY_LEN + TS_LEN + NONCE_LEN);
+        plaintext.extend_from_slice(session_key.as_bytes());
+        plaintext.extend_from_slice(&now_ms.to_be_bytes());
+        plaintext.extend_from_slice(&nonce_a);
+        let ciphertext = device_pk
+            .encrypt(&plaintext, rng)
+            .expect("48-byte payload fits any supported modulus");
+        let signature = manager.sign(&ciphertext);
+        (
+            Self {
+                session_key,
+                nonce_a,
+                ts: now_ms,
+                completed: false,
+            },
+            Message1 {
+                ciphertext,
+                signature,
+            },
+        )
+    }
+
+    /// Processes the device's M2 and, if everything checks out, emits M3.
+    ///
+    /// # Errors
+    ///
+    /// Any [`KeyDistError`]; after success the session is complete and a
+    /// replayed M2 yields [`KeyDistError::WrongState`].
+    pub fn handle_m2<R: Rng + ?Sized>(
+        &mut self,
+        manager: &Account,
+        device_pk: &RsaPublicKey,
+        m2: &Message2,
+        now_ms: u64,
+        cfg: &KeyDistConfig,
+        rng: &mut R,
+    ) -> Result<Message3, KeyDistError> {
+        if self.completed {
+            return Err(KeyDistError::WrongState);
+        }
+        let aes = Aes::new(&self.session_key);
+        let plain = aes
+            .decrypt_cbc(&m2.ciphertext, &m2.iv)
+            .map_err(|_| KeyDistError::DecryptFailed)?;
+        if plain.len() < NONCE_LEN + TS_LEN + NONCE_LEN {
+            return Err(KeyDistError::Malformed);
+        }
+        let nonce_b: [u8; NONCE_LEN] = plain[..NONCE_LEN].try_into().unwrap();
+        let ts1 = u64::from_be_bytes(plain[NONCE_LEN..NONCE_LEN + TS_LEN].try_into().unwrap());
+        let nonce_a_echo = &plain[NONCE_LEN + TS_LEN..NONCE_LEN + TS_LEN + NONCE_LEN];
+        let sig = &plain[NONCE_LEN + TS_LEN + NONCE_LEN..];
+
+        if ts1 != self.ts + 1 {
+            return Err(KeyDistError::StaleTimestamp { got: ts1, now: now_ms });
+        }
+        check_fresh(ts1, now_ms, cfg)?;
+        if !biot_crypto::sha256::ct_eq(nonce_a_echo, &self.nonce_a) {
+            return Err(KeyDistError::NonceMismatch);
+        }
+        let mut signed = Vec::with_capacity(NONCE_LEN + TS_LEN);
+        signed.extend_from_slice(&nonce_b);
+        signed.extend_from_slice(&ts1.to_be_bytes());
+        if !device_pk.verify(&signed, sig) {
+            return Err(KeyDistError::BadSignature);
+        }
+
+        // Build M3: nonce_b ‖ TS+2 ‖ Sign_SKm(nonce_b ‖ TS+2).
+        let ts2 = self.ts + 2;
+        let mut m3_signed = Vec::with_capacity(NONCE_LEN + TS_LEN);
+        m3_signed.extend_from_slice(&nonce_b);
+        m3_signed.extend_from_slice(&ts2.to_be_bytes());
+        let m3_sig = manager.sign(&m3_signed);
+        let mut body = m3_signed;
+        body.extend_from_slice(&m3_sig);
+        let iv = random_iv(rng);
+        let ciphertext = aes.encrypt_cbc(&body, &iv);
+        self.completed = true;
+        Ok(Message3 { iv, ciphertext })
+    }
+
+    /// The established session key, available once the handshake completed.
+    pub fn session_key(&self) -> Option<&AesKey> {
+        self.completed.then_some(&self.session_key)
+    }
+
+    /// True once M2 was accepted and M3 sent.
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+}
+
+/// Device-side handshake state.
+pub struct DeviceSession {
+    session_key: AesKey,
+    nonce_b: [u8; NONCE_LEN],
+    ts: u64,
+    completed: bool,
+}
+
+impl fmt::Debug for DeviceSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceSession")
+            .field("ts", &self.ts)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl DeviceSession {
+    /// Processes M1 from the manager and produces M2.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyDistError::BadSignature`] on a forged envelope,
+    /// [`KeyDistError::StaleTimestamp`] on replay,
+    /// [`KeyDistError::DecryptFailed`] / [`KeyDistError::Malformed`] on
+    /// corruption.
+    pub fn handle_m1<R: Rng + ?Sized>(
+        device: &Account,
+        manager_pk: &RsaPublicKey,
+        m1: &Message1,
+        now_ms: u64,
+        cfg: &KeyDistConfig,
+        rng: &mut R,
+    ) -> Result<(Self, Message2), KeyDistError> {
+        if !manager_pk.verify(&m1.ciphertext, &m1.signature) {
+            return Err(KeyDistError::BadSignature);
+        }
+        let plain = device
+            .private_key()
+            .decrypt(&m1.ciphertext)
+            .map_err(|_| KeyDistError::DecryptFailed)?;
+        if plain.len() != KEY_LEN + TS_LEN + NONCE_LEN {
+            return Err(KeyDistError::Malformed);
+        }
+        let session_key =
+            AesKey::from_bytes(&plain[..KEY_LEN]).map_err(|_| KeyDistError::Malformed)?;
+        let ts = u64::from_be_bytes(plain[KEY_LEN..KEY_LEN + TS_LEN].try_into().unwrap());
+        let nonce_a: [u8; NONCE_LEN] = plain[KEY_LEN + TS_LEN..].try_into().unwrap();
+        check_fresh(ts, now_ms, cfg)?;
+
+        // Build M2.
+        let nonce_b = random_nonce(rng);
+        let ts1 = ts + 1;
+        let mut signed = Vec::with_capacity(NONCE_LEN + TS_LEN);
+        signed.extend_from_slice(&nonce_b);
+        signed.extend_from_slice(&ts1.to_be_bytes());
+        let sig = device.sign(&signed);
+        // Body layout: nonce_b ‖ ts1 ‖ nonce_a ‖ sig.
+        let mut full = Vec::with_capacity(NONCE_LEN + TS_LEN + NONCE_LEN + sig.len());
+        full.extend_from_slice(&nonce_b);
+        full.extend_from_slice(&ts1.to_be_bytes());
+        full.extend_from_slice(&nonce_a);
+        full.extend_from_slice(&sig);
+        let aes = Aes::new(&session_key);
+        let iv = random_iv(rng);
+        let ciphertext = aes.encrypt_cbc(&full, &iv);
+        Ok((
+            Self {
+                session_key,
+                nonce_b,
+                ts,
+                completed: false,
+            },
+            Message2 { iv, ciphertext },
+        ))
+    }
+
+    /// Processes the manager's M3, completing the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Any [`KeyDistError`]; on success the session key becomes available.
+    pub fn handle_m3(
+        &mut self,
+        manager_pk: &RsaPublicKey,
+        m3: &Message3,
+        now_ms: u64,
+        cfg: &KeyDistConfig,
+    ) -> Result<(), KeyDistError> {
+        if self.completed {
+            return Err(KeyDistError::WrongState);
+        }
+        let aes = Aes::new(&self.session_key);
+        let plain = aes
+            .decrypt_cbc(&m3.ciphertext, &m3.iv)
+            .map_err(|_| KeyDistError::DecryptFailed)?;
+        if plain.len() < NONCE_LEN + TS_LEN {
+            return Err(KeyDistError::Malformed);
+        }
+        let nonce_b_echo = &plain[..NONCE_LEN];
+        let ts2 = u64::from_be_bytes(plain[NONCE_LEN..NONCE_LEN + TS_LEN].try_into().unwrap());
+        let sig = &plain[NONCE_LEN + TS_LEN..];
+        if !biot_crypto::sha256::ct_eq(nonce_b_echo, &self.nonce_b) {
+            return Err(KeyDistError::NonceMismatch);
+        }
+        if ts2 != self.ts + 2 {
+            return Err(KeyDistError::StaleTimestamp { got: ts2, now: now_ms });
+        }
+        check_fresh(ts2, now_ms, cfg)?;
+        if !manager_pk.verify(&plain[..NONCE_LEN + TS_LEN], sig) {
+            return Err(KeyDistError::BadSignature);
+        }
+        self.completed = true;
+        Ok(())
+    }
+
+    /// The established session key, available once the handshake completed.
+    pub fn session_key(&self) -> Option<&AesKey> {
+        self.completed.then_some(&self.session_key)
+    }
+
+    /// True once M3 was accepted.
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Harness {
+        manager: Account,
+        device: Account,
+        cfg: KeyDistConfig,
+        rng: StdRng,
+    }
+
+    fn harness(seed: u64) -> Harness {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Harness {
+            manager: Account::generate(&mut rng),
+            device: Account::generate(&mut rng),
+            cfg: KeyDistConfig::default(),
+            rng,
+        }
+    }
+
+    #[test]
+    fn full_handshake_establishes_matching_keys() {
+        let mut h = harness(1);
+        let (mut ms, m1) =
+            ManagerSession::initiate(&h.manager, h.device.public_key(), 1000, &mut h.rng);
+        let (mut ds, m2) = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(),
+            &m1,
+            1005,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap();
+        let m3 = ms
+            .handle_m2(&h.manager, h.device.public_key(), &m2, 1010, &h.cfg, &mut h.rng)
+            .unwrap();
+        ds.handle_m3(h.manager.public_key(), &m3, 1015, &h.cfg).unwrap();
+
+        assert!(ms.is_complete() && ds.is_complete());
+        assert_eq!(
+            ms.session_key().unwrap().as_bytes(),
+            ds.session_key().unwrap().as_bytes()
+        );
+    }
+
+    #[test]
+    fn session_key_unavailable_before_completion() {
+        let mut h = harness(2);
+        let (ms, m1) =
+            ManagerSession::initiate(&h.manager, h.device.public_key(), 0, &mut h.rng);
+        assert!(ms.session_key().is_none());
+        let (ds, _m2) = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(),
+            &m1,
+            0,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap();
+        assert!(ds.session_key().is_none());
+    }
+
+    #[test]
+    fn forged_m1_rejected() {
+        let mut h = harness(3);
+        let imposter = Account::generate(&mut h.rng);
+        let (_, m1) = ManagerSession::initiate(&imposter, h.device.public_key(), 0, &mut h.rng);
+        let err = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(), // device trusts the real manager
+            &m1,
+            0,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, KeyDistError::BadSignature);
+    }
+
+    #[test]
+    fn tampered_m1_rejected() {
+        let mut h = harness(4);
+        let (_, mut m1) =
+            ManagerSession::initiate(&h.manager, h.device.public_key(), 0, &mut h.rng);
+        m1.ciphertext[0] ^= 1;
+        let err = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(),
+            &m1,
+            0,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, KeyDistError::BadSignature);
+    }
+
+    #[test]
+    fn replayed_m1_rejected_as_stale() {
+        let mut h = harness(5);
+        let (_, m1) = ManagerSession::initiate(&h.manager, h.device.public_key(), 0, &mut h.rng);
+        // Replay far outside the freshness window.
+        let err = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(),
+            &m1,
+            60_000,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, KeyDistError::StaleTimestamp { .. }));
+    }
+
+    #[test]
+    fn m2_from_wrong_device_rejected() {
+        let mut h = harness(6);
+        let evil = Account::generate(&mut h.rng);
+        let (mut ms, m1) =
+            ManagerSession::initiate(&h.manager, h.device.public_key(), 0, &mut h.rng);
+        let (_ds, m2) = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(),
+            &m1,
+            1,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap();
+        // Manager believes it is talking to `evil`: signature check fails.
+        let err = ms
+            .handle_m2(&h.manager, evil.public_key(), &m2, 2, &h.cfg, &mut h.rng)
+            .unwrap_err();
+        assert_eq!(err, KeyDistError::BadSignature);
+    }
+
+    #[test]
+    fn replayed_m2_rejected_after_completion() {
+        let mut h = harness(7);
+        let (mut ms, m1) =
+            ManagerSession::initiate(&h.manager, h.device.public_key(), 0, &mut h.rng);
+        let (_ds, m2) = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(),
+            &m1,
+            1,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap();
+        ms.handle_m2(&h.manager, h.device.public_key(), &m2, 2, &h.cfg, &mut h.rng)
+            .unwrap();
+        let err = ms
+            .handle_m2(&h.manager, h.device.public_key(), &m2, 3, &h.cfg, &mut h.rng)
+            .unwrap_err();
+        assert_eq!(err, KeyDistError::WrongState);
+    }
+
+    #[test]
+    fn tampered_m3_rejected() {
+        let mut h = harness(8);
+        let (mut ms, m1) =
+            ManagerSession::initiate(&h.manager, h.device.public_key(), 0, &mut h.rng);
+        let (mut ds, m2) = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(),
+            &m1,
+            1,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap();
+        let mut m3 = ms
+            .handle_m2(&h.manager, h.device.public_key(), &m2, 2, &h.cfg, &mut h.rng)
+            .unwrap();
+        m3.ciphertext[0] ^= 0xFF;
+        let err = ds.handle_m3(h.manager.public_key(), &m3, 3, &h.cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            KeyDistError::DecryptFailed | KeyDistError::Malformed | KeyDistError::NonceMismatch
+        ));
+        assert!(!ds.is_complete());
+    }
+
+    #[test]
+    fn m3_replay_rejected() {
+        let mut h = harness(9);
+        let (mut ms, m1) =
+            ManagerSession::initiate(&h.manager, h.device.public_key(), 0, &mut h.rng);
+        let (mut ds, m2) = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(),
+            &m1,
+            1,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap();
+        let m3 = ms
+            .handle_m2(&h.manager, h.device.public_key(), &m2, 2, &h.cfg, &mut h.rng)
+            .unwrap();
+        ds.handle_m3(h.manager.public_key(), &m3, 3, &h.cfg).unwrap();
+        assert_eq!(
+            ds.handle_m3(h.manager.public_key(), &m3, 4, &h.cfg),
+            Err(KeyDistError::WrongState)
+        );
+    }
+
+    #[test]
+    fn established_key_encrypts_sensor_data() {
+        let mut h = harness(10);
+        let (mut ms, m1) =
+            ManagerSession::initiate(&h.manager, h.device.public_key(), 0, &mut h.rng);
+        let (mut ds, m2) = DeviceSession::handle_m1(
+            &h.device,
+            h.manager.public_key(),
+            &m1,
+            1,
+            &h.cfg,
+            &mut h.rng,
+        )
+        .unwrap();
+        let m3 = ms
+            .handle_m2(&h.manager, h.device.public_key(), &m2, 2, &h.cfg, &mut h.rng)
+            .unwrap();
+        ds.handle_m3(h.manager.public_key(), &m3, 3, &h.cfg).unwrap();
+
+        // Device encrypts, manager decrypts.
+        let device_aes = Aes::new(ds.session_key().unwrap());
+        let manager_aes = Aes::new(ms.session_key().unwrap());
+        let iv = random_iv(&mut h.rng);
+        let ct = device_aes.encrypt_cbc(b"vibration=0.3g", &iv);
+        assert_eq!(manager_aes.decrypt_cbc(&ct, &iv).unwrap(), b"vibration=0.3g");
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-device token-bucket rate limiting at gateways.
+//!
+//! Admission control (the authorization list) blocks *unauthorized*
+//! flooders; the credit mechanism prices *detected* misbehaviour. A
+//! compromised-but-authorized device spamming valid transactions slips
+//! between the two, so gateways also meter request *rate*: each device
+//! has a token bucket refilled in virtual time. This complements the
+//! paper's DDoS discussion in §VI-C.
+
+use biot_net::time::SimTime;
+use biot_tangle::tx::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Token-bucket parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RateLimitConfig {
+    /// Maximum burst: bucket capacity in requests.
+    pub burst: f64,
+    /// Sustained rate: tokens refilled per second.
+    pub per_second: f64,
+}
+
+impl Default for RateLimitConfig {
+    /// 10-request burst, 2 sustained requests/second — generous for a
+    /// sensor cadence, tight for a flood.
+    fn default() -> Self {
+        Self {
+            burst: 10.0,
+            per_second: 2.0,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+/// A per-node token-bucket rate limiter on virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use biot_core::ratelimit::{RateLimitConfig, RateLimiter};
+/// use biot_net::time::SimTime;
+/// use biot_tangle::tx::NodeId;
+///
+/// let mut limiter = RateLimiter::new(RateLimitConfig { burst: 2.0, per_second: 1.0 });
+/// let node = NodeId([1; 32]);
+/// let t = SimTime::from_secs(1);
+/// assert!(limiter.allow(node, t));
+/// assert!(limiter.allow(node, t));
+/// assert!(!limiter.allow(node, t), "burst exhausted");
+/// assert!(limiter.allow(node, SimTime::from_secs(2)), "refilled");
+/// ```
+#[derive(Clone, Debug)]
+pub struct RateLimiter {
+    config: RateLimitConfig,
+    buckets: HashMap<NodeId, Bucket>,
+}
+
+impl RateLimiter {
+    /// Creates a limiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` or `per_second` is not positive and finite.
+    pub fn new(config: RateLimitConfig) -> Self {
+        assert!(
+            config.burst > 0.0 && config.burst.is_finite(),
+            "burst must be positive"
+        );
+        assert!(
+            config.per_second > 0.0 && config.per_second.is_finite(),
+            "per_second must be positive"
+        );
+        Self {
+            config,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> RateLimitConfig {
+        self.config
+    }
+
+    /// Records a request from `node` at `now`; returns whether it is
+    /// within the allowed rate. Denied requests consume no tokens.
+    pub fn allow(&mut self, node: NodeId, now: SimTime) -> bool {
+        let bucket = self.buckets.entry(node).or_insert(Bucket {
+            tokens: self.config.burst,
+            last_refill: now,
+        });
+        // Refill for time elapsed (virtual time never goes backwards in a
+        // run, but clamp defensively).
+        let elapsed_s = now.millis_since(bucket.last_refill) as f64 / 1000.0;
+        bucket.tokens = (bucket.tokens + elapsed_s * self.config.per_second)
+            .min(self.config.burst);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current token count for `node` (diagnostics).
+    pub fn tokens(&self, node: NodeId) -> Option<f64> {
+        self.buckets.get(&node).map(|b| b.tokens)
+    }
+
+    /// Drops state for nodes idle since before `cutoff` (memory hygiene).
+    pub fn compact(&mut self, cutoff: SimTime) {
+        self.buckets.retain(|_, b| b.last_refill >= cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(n: u8) -> NodeId {
+        NodeId([n; 32])
+    }
+
+    fn t_ms(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn burst_then_block() {
+        let mut l = RateLimiter::new(RateLimitConfig {
+            burst: 3.0,
+            per_second: 1.0,
+        });
+        let now = t_ms(0);
+        assert!(l.allow(node(1), now));
+        assert!(l.allow(node(1), now));
+        assert!(l.allow(node(1), now));
+        assert!(!l.allow(node(1), now));
+    }
+
+    #[test]
+    fn refill_restores_tokens_gradually() {
+        let mut l = RateLimiter::new(RateLimitConfig {
+            burst: 2.0,
+            per_second: 2.0,
+        });
+        assert!(l.allow(node(1), t_ms(0)));
+        assert!(l.allow(node(1), t_ms(0)));
+        assert!(!l.allow(node(1), t_ms(100)), "0.2 tokens is not enough");
+        assert!(l.allow(node(1), t_ms(600)), "1.2 tokens after 0.6s");
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut l = RateLimiter::new(RateLimitConfig {
+            burst: 2.0,
+            per_second: 100.0,
+        });
+        l.allow(node(1), t_ms(0));
+        // A long idle period must not bank more than `burst`.
+        assert!(l.allow(node(1), t_ms(60_000)));
+        assert!(l.allow(node(1), t_ms(60_000)));
+        assert!(!l.allow(node(1), t_ms(60_000)));
+    }
+
+    #[test]
+    fn nodes_have_independent_buckets() {
+        let mut l = RateLimiter::new(RateLimitConfig {
+            burst: 1.0,
+            per_second: 1.0,
+        });
+        assert!(l.allow(node(1), t_ms(0)));
+        assert!(!l.allow(node(1), t_ms(0)));
+        assert!(l.allow(node(2), t_ms(0)), "node 2 unaffected");
+    }
+
+    #[test]
+    fn denied_requests_consume_nothing() {
+        let mut l = RateLimiter::new(RateLimitConfig {
+            burst: 1.0,
+            per_second: 1.0,
+        });
+        assert!(l.allow(node(1), t_ms(0)));
+        for _ in 0..100 {
+            assert!(!l.allow(node(1), t_ms(500)));
+        }
+        // Half a token at 500 ms regardless of denied attempts.
+        assert!((l.tokens(node(1)).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compact_drops_idle_nodes() {
+        let mut l = RateLimiter::new(RateLimitConfig::default());
+        l.allow(node(1), t_ms(0));
+        l.allow(node(2), t_ms(10_000));
+        l.compact(t_ms(5_000));
+        assert!(l.tokens(node(1)).is_none());
+        assert!(l.tokens(node(2)).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_burst_panics() {
+        RateLimiter::new(RateLimitConfig {
+            burst: 0.0,
+            per_second: 1.0,
+        });
+    }
+}

@@ -1,0 +1,204 @@
+//! Token ownership: who may spend what.
+//!
+//! The tangle's conflict rule (one spend per token, §III) stops a node
+//! from spending the *same* token twice — but says nothing about who may
+//! spend it in the first place. Without an ownership check, any
+//! authorized device could race the real owner and spend their token
+//! first. [`TokenLedger`] closes that gap: the manager grants tokens to
+//! devices (an operator action, like authorization), and gateways refuse
+//! a spend whose issuer is not the current owner.
+
+use biot_tangle::tx::{NodeId, Payload, Transaction};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a spend was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenError {
+    /// The token was never granted to anyone.
+    UnknownToken([u8; 32]),
+    /// The issuer is not the token's current owner.
+    NotOwner {
+        /// Who tried to spend.
+        spender: NodeId,
+        /// Who actually owns the token.
+        owner: NodeId,
+    },
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenError::UnknownToken(_) => write!(f, "token was never granted"),
+            TokenError::NotOwner { spender, owner } => {
+                write!(f, "{spender} tried to spend a token owned by {owner}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+/// Tracks token ownership: grants (operator action) and transfers
+/// (accepted spends).
+///
+/// # Examples
+///
+/// ```
+/// use biot_core::tokens::TokenLedger;
+/// use biot_tangle::tx::NodeId;
+///
+/// let mut ledger = TokenLedger::new();
+/// let token = [7u8; 32];
+/// let alice = NodeId([1; 32]);
+/// let bob = NodeId([2; 32]);
+/// ledger.grant(token, alice);
+/// assert_eq!(ledger.owner_of(&token), Some(alice));
+/// // An accepted spend moves ownership.
+/// ledger.transfer(token, bob);
+/// assert_eq!(ledger.owner_of(&token), Some(bob));
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TokenLedger {
+    owners: HashMap<[u8; 32], NodeId>,
+}
+
+impl TokenLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants `token` to `owner` (manager/operator action, analogous to
+    /// device authorization). Re-granting replaces the owner.
+    pub fn grant(&mut self, token: [u8; 32], owner: NodeId) {
+        self.owners.insert(token, owner);
+    }
+
+    /// Current owner of `token`, if granted.
+    pub fn owner_of(&self, token: &[u8; 32]) -> Option<NodeId> {
+        self.owners.get(token).copied()
+    }
+
+    /// Number of granted tokens.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// True when no tokens are granted.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Validates that `tx` is allowed to spend what it spends.
+    ///
+    /// Non-spend payloads pass trivially.
+    ///
+    /// # Errors
+    ///
+    /// [`TokenError::UnknownToken`] for a never-granted token,
+    /// [`TokenError::NotOwner`] when the issuer is not the current owner.
+    pub fn validate(&self, tx: &Transaction) -> Result<(), TokenError> {
+        let Payload::Spend { token, .. } = &tx.payload else {
+            return Ok(());
+        };
+        match self.owners.get(token) {
+            None => Err(TokenError::UnknownToken(*token)),
+            Some(owner) if *owner == tx.issuer => Ok(()),
+            Some(owner) => Err(TokenError::NotOwner {
+                spender: tx.issuer,
+                owner: *owner,
+            }),
+        }
+    }
+
+    /// Records an accepted spend: ownership moves to the recipient.
+    pub fn transfer(&mut self, token: [u8; 32], to: NodeId) {
+        self.owners.insert(token, to);
+    }
+
+    /// Applies an accepted transaction (no-op for non-spends).
+    pub fn apply(&mut self, tx: &Transaction) {
+        if let Payload::Spend { token, to } = &tx.payload {
+            self.transfer(*token, *to);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biot_tangle::tx::TransactionBuilder;
+
+    fn node(n: u8) -> NodeId {
+        NodeId([n; 32])
+    }
+
+    fn spend(issuer: NodeId, token: [u8; 32], to: NodeId) -> Transaction {
+        TransactionBuilder::new(issuer)
+            .payload(Payload::Spend { token, to })
+            .build()
+    }
+
+    #[test]
+    fn owner_may_spend_stranger_may_not() {
+        let mut ledger = TokenLedger::new();
+        let token = [1u8; 32];
+        ledger.grant(token, node(1));
+        assert!(ledger.validate(&spend(node(1), token, node(2))).is_ok());
+        assert_eq!(
+            ledger.validate(&spend(node(9), token, node(9))),
+            Err(TokenError::NotOwner {
+                spender: node(9),
+                owner: node(1)
+            })
+        );
+    }
+
+    #[test]
+    fn ungranted_token_rejected() {
+        let ledger = TokenLedger::new();
+        let token = [2u8; 32];
+        assert_eq!(
+            ledger.validate(&spend(node(1), token, node(2))),
+            Err(TokenError::UnknownToken(token))
+        );
+    }
+
+    #[test]
+    fn apply_moves_ownership() {
+        let mut ledger = TokenLedger::new();
+        let token = [3u8; 32];
+        ledger.grant(token, node(1));
+        let tx = spend(node(1), token, node(2));
+        ledger.validate(&tx).unwrap();
+        ledger.apply(&tx);
+        assert_eq!(ledger.owner_of(&token), Some(node(2)));
+        // The previous owner can no longer spend it.
+        assert!(ledger.validate(&spend(node(1), token, node(3))).is_err());
+        // The new owner could (the tangle's one-spend rule is a separate,
+        // stricter layer).
+        assert!(ledger.validate(&spend(node(2), token, node(3))).is_ok());
+    }
+
+    #[test]
+    fn non_spend_payloads_pass() {
+        let ledger = TokenLedger::new();
+        let tx = TransactionBuilder::new(node(1))
+            .payload(Payload::Data(b"reading".to_vec()))
+            .build();
+        assert!(ledger.validate(&tx).is_ok());
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn regrant_replaces_owner() {
+        let mut ledger = TokenLedger::new();
+        let token = [4u8; 32];
+        ledger.grant(token, node(1));
+        ledger.grant(token, node(2));
+        assert_eq!(ledger.owner_of(&token), Some(node(2)));
+        assert_eq!(ledger.len(), 1);
+    }
+}

@@ -1,0 +1,658 @@
+//! AES block cipher (FIPS 197) with ECB, CBC, and CTR modes and PKCS#7
+//! padding, implemented from scratch.
+//!
+//! This is the symmetric primitive behind B-IoT's data authority management
+//! method (§IV-C of the paper): sensitive sensor readings are AES-encrypted
+//! before being posted to the transparent ledger.
+//!
+//! # Examples
+//!
+//! ```
+//! use biot_crypto::aes::{Aes, AesKey};
+//!
+//! let key = AesKey::Aes128([0u8; 16]);
+//! let cipher = Aes::new(&key);
+//! let iv = [7u8; 16];
+//! let ct = cipher.encrypt_cbc(b"factory telemetry", &iv);
+//! let pt = cipher.decrypt_cbc(&ct, &iv).expect("valid padding");
+//! assert_eq!(pt, b"factory telemetry");
+//! ```
+
+use std::fmt;
+
+/// AES block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+
+/// An AES key of one of the three standard sizes.
+#[derive(Clone, PartialEq, Eq)]
+pub enum AesKey {
+    /// 128-bit key (10 rounds).
+    Aes128([u8; 16]),
+    /// 192-bit key (12 rounds).
+    Aes192([u8; 24]),
+    /// 256-bit key (14 rounds).
+    Aes256([u8; 32]),
+}
+
+impl AesKey {
+    /// Returns the raw key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            AesKey::Aes128(k) => k,
+            AesKey::Aes192(k) => k,
+            AesKey::Aes256(k) => k,
+        }
+    }
+
+    /// Builds a key from a byte slice of length 16, 24, or 32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AesError::BadKeyLen`] for any other length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, AesError> {
+        match bytes.len() {
+            16 => {
+                let mut k = [0u8; 16];
+                k.copy_from_slice(bytes);
+                Ok(AesKey::Aes128(k))
+            }
+            24 => {
+                let mut k = [0u8; 24];
+                k.copy_from_slice(bytes);
+                Ok(AesKey::Aes192(k))
+            }
+            32 => {
+                let mut k = [0u8; 32];
+                k.copy_from_slice(bytes);
+                Ok(AesKey::Aes256(k))
+            }
+            n => Err(AesError::BadKeyLen(n)),
+        }
+    }
+
+    fn rounds(&self) -> usize {
+        match self {
+            AesKey::Aes128(_) => 10,
+            AesKey::Aes192(_) => 12,
+            AesKey::Aes256(_) => 14,
+        }
+    }
+}
+
+impl fmt::Debug for AesKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        let kind = match self {
+            AesKey::Aes128(_) => "Aes128",
+            AesKey::Aes192(_) => "Aes192",
+            AesKey::Aes256(_) => "Aes256",
+        };
+        write!(f, "AesKey::{kind}(<redacted>)")
+    }
+}
+
+/// Errors produced by AES operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesError {
+    /// Key length was not 16, 24, or 32 bytes.
+    BadKeyLen(usize),
+    /// Ciphertext length is not a positive multiple of the block size.
+    BadCiphertextLen(usize),
+    /// PKCS#7 padding was malformed after decryption.
+    BadPadding,
+}
+
+impl fmt::Display for AesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AesError::BadKeyLen(n) => write!(f, "invalid AES key length {n}"),
+            AesError::BadCiphertextLen(n) => {
+                write!(f, "ciphertext length {n} is not a positive multiple of 16")
+            }
+            AesError::BadPadding => write!(f, "invalid PKCS#7 padding"),
+        }
+    }
+}
+
+impl std::error::Error for AesError {}
+
+// --- S-box generation -----------------------------------------------------
+
+/// Multiplies two elements of GF(2^8) with the AES reduction polynomial.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Computes the multiplicative inverse in GF(2^8) (0 maps to 0).
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 == a^-1 in GF(2^8).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn build_sboxes() -> ([u8; 256], [u8; 256]) {
+    let mut sbox = [0u8; 256];
+    let mut inv = [0u8; 256];
+    for i in 0..256usize {
+        let x = gf_inv(i as u8);
+        let y = x
+            ^ x.rotate_left(1)
+            ^ x.rotate_left(2)
+            ^ x.rotate_left(3)
+            ^ x.rotate_left(4)
+            ^ 0x63;
+        sbox[i] = y;
+        inv[y as usize] = i as u8;
+    }
+    (sbox, inv)
+}
+
+// --- Cipher ----------------------------------------------------------------
+
+/// An AES cipher instance with a fully expanded key schedule.
+///
+/// Construct once per key with [`Aes::new`]; all mode methods
+/// ([`encrypt_cbc`](Self::encrypt_cbc), [`apply_ctr`](Self::apply_ctr), …)
+/// reuse the expanded schedule.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; BLOCK_LEN]>,
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+    rounds: usize,
+}
+
+impl fmt::Debug for Aes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Aes").field("rounds", &self.rounds).finish()
+    }
+}
+
+impl Aes {
+    /// Expands `key` into the round-key schedule and returns a ready cipher.
+    pub fn new(key: &AesKey) -> Self {
+        let (sbox, inv_sbox) = build_sboxes();
+        let rounds = key.rounds();
+        let nk = key.as_bytes().len() / 4;
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for chunk in key.as_bytes().chunks_exact(4) {
+            w.push([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let mut rcon = 1u8;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = sbox[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|q| {
+                let mut rk = [0u8; BLOCK_LEN];
+                for (i, word) in q.iter().enumerate() {
+                    rk[i * 4..i * 4 + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Self {
+            round_keys,
+            sbox,
+            inv_sbox,
+            rounds,
+        }
+    }
+
+    /// Encrypts a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..self.rounds {
+            self.sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        self.sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        add_round_key(block, &self.round_keys[self.rounds]);
+        inv_shift_rows(block);
+        self.inv_sub_bytes(block);
+        for round in (1..self.rounds).rev() {
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            self.inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    fn sub_bytes(&self, block: &mut [u8; BLOCK_LEN]) {
+        for b in block.iter_mut() {
+            *b = self.sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(&self, block: &mut [u8; BLOCK_LEN]) {
+        for b in block.iter_mut() {
+            *b = self.inv_sbox[*b as usize];
+        }
+    }
+
+    /// Encrypts `plaintext` in CBC mode with PKCS#7 padding.
+    ///
+    /// Output length is `plaintext.len()` rounded up to the next multiple of
+    /// 16 (a full padding block is appended when the input is already
+    /// block-aligned).
+    pub fn encrypt_cbc(&self, plaintext: &[u8], iv: &[u8; BLOCK_LEN]) -> Vec<u8> {
+        let padded = pkcs7_pad(plaintext);
+        let mut out = Vec::with_capacity(padded.len());
+        let mut prev = *iv;
+        for chunk in padded.chunks_exact(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            for i in 0..BLOCK_LEN {
+                block[i] = chunk[i] ^ prev[i];
+            }
+            self.encrypt_block(&mut block);
+            out.extend_from_slice(&block);
+            prev = block;
+        }
+        out
+    }
+
+    /// Decrypts CBC ciphertext and strips PKCS#7 padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AesError::BadCiphertextLen`] if `ciphertext` is empty or not
+    /// block-aligned, and [`AesError::BadPadding`] if the padding bytes are
+    /// inconsistent (wrong key/IV or corrupted data).
+    pub fn decrypt_cbc(
+        &self,
+        ciphertext: &[u8],
+        iv: &[u8; BLOCK_LEN],
+    ) -> Result<Vec<u8>, AesError> {
+        if ciphertext.is_empty() || ciphertext.len() % BLOCK_LEN != 0 {
+            return Err(AesError::BadCiphertextLen(ciphertext.len()));
+        }
+        let mut out = Vec::with_capacity(ciphertext.len());
+        let mut prev = *iv;
+        for chunk in ciphertext.chunks_exact(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(chunk);
+            let saved = block;
+            self.decrypt_block(&mut block);
+            for i in 0..BLOCK_LEN {
+                block[i] ^= prev[i];
+            }
+            out.extend_from_slice(&block);
+            prev = saved;
+        }
+        pkcs7_unpad(&mut out)?;
+        Ok(out)
+    }
+
+    /// Applies CTR-mode keystream to `data` (encryption and decryption are
+    /// the same operation). The 16-byte `nonce` is the initial counter
+    /// block, incremented as a 128-bit big-endian integer per block (the
+    /// NIST SP 800-38A layout).
+    pub fn apply_ctr(&self, data: &[u8], nonce: &[u8; BLOCK_LEN]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        let mut counter = *nonce;
+        for chunk in data.chunks(BLOCK_LEN) {
+            let mut block = counter;
+            self.encrypt_block(&mut block);
+            for (i, byte) in chunk.iter().enumerate() {
+                out.push(byte ^ block[i]);
+            }
+            // 128-bit big-endian increment with wraparound.
+            for b in counter.iter_mut().rev() {
+                let (v, overflow) = b.overflowing_add(1);
+                *b = v;
+                if !overflow {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Encrypts `plaintext` in ECB mode with PKCS#7 padding.
+    ///
+    /// ECB leaks plaintext structure; it is provided for test vectors and as
+    /// the building block of the other modes, not for protecting real data.
+    pub fn encrypt_ecb(&self, plaintext: &[u8]) -> Vec<u8> {
+        let padded = pkcs7_pad(plaintext);
+        let mut out = Vec::with_capacity(padded.len());
+        for chunk in padded.chunks_exact(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(chunk);
+            self.encrypt_block(&mut block);
+            out.extend_from_slice(&block);
+        }
+        out
+    }
+
+    /// Decrypts ECB ciphertext and strips PKCS#7 padding.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`decrypt_cbc`](Self::decrypt_cbc).
+    pub fn decrypt_ecb(&self, ciphertext: &[u8]) -> Result<Vec<u8>, AesError> {
+        if ciphertext.is_empty() || ciphertext.len() % BLOCK_LEN != 0 {
+            return Err(AesError::BadCiphertextLen(ciphertext.len()));
+        }
+        let mut out = Vec::with_capacity(ciphertext.len());
+        for chunk in ciphertext.chunks_exact(BLOCK_LEN) {
+            let mut block = [0u8; BLOCK_LEN];
+            block.copy_from_slice(chunk);
+            self.decrypt_block(&mut block);
+            out.extend_from_slice(&block);
+        }
+        pkcs7_unpad(&mut out)?;
+        Ok(out)
+    }
+}
+
+fn add_round_key(block: &mut [u8; BLOCK_LEN], rk: &[u8; BLOCK_LEN]) {
+    for i in 0..BLOCK_LEN {
+        block[i] ^= rk[i];
+    }
+}
+
+/// State is column-major: byte `r + 4c` of the block is row `r`, column `c`.
+fn shift_rows(block: &mut [u8; BLOCK_LEN]) {
+    for r in 1..4 {
+        let mut row = [0u8; 4];
+        for c in 0..4 {
+            row[c] = block[r + 4 * c];
+        }
+        row.rotate_left(r);
+        for c in 0..4 {
+            block[r + 4 * c] = row[c];
+        }
+    }
+}
+
+fn inv_shift_rows(block: &mut [u8; BLOCK_LEN]) {
+    for r in 1..4 {
+        let mut row = [0u8; 4];
+        for c in 0..4 {
+            row[c] = block[r + 4 * c];
+        }
+        row.rotate_right(r);
+        for c in 0..4 {
+            block[r + 4 * c] = row[c];
+        }
+    }
+}
+
+fn mix_columns(block: &mut [u8; BLOCK_LEN]) {
+    for c in 0..4 {
+        let col = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+        block[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        block[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        block[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        block[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(block: &mut [u8; BLOCK_LEN]) {
+    for c in 0..4 {
+        let col = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+        block[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        block[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        block[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        block[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+/// Appends PKCS#7 padding, always adding at least one byte.
+pub fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
+    let pad = BLOCK_LEN - data.len() % BLOCK_LEN;
+    let mut out = Vec::with_capacity(data.len() + pad);
+    out.extend_from_slice(data);
+    out.extend(std::iter::repeat(pad as u8).take(pad));
+    out
+}
+
+/// Strips PKCS#7 padding in place.
+///
+/// # Errors
+///
+/// Returns [`AesError::BadPadding`] if the final byte is not in `1..=16` or
+/// the padding bytes disagree.
+pub fn pkcs7_unpad(data: &mut Vec<u8>) -> Result<(), AesError> {
+    let &last = data.last().ok_or(AesError::BadPadding)?;
+    let pad = last as usize;
+    if pad == 0 || pad > BLOCK_LEN || pad > data.len() {
+        return Err(AesError::BadPadding);
+    }
+    if data[data.len() - pad..].iter().any(|&b| b != last) {
+        return Err(AesError::BadPadding);
+    }
+    data.truncate(data.len() - pad);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::from_hex;
+
+    fn block(hex: &str) -> [u8; 16] {
+        let v = from_hex(hex).unwrap();
+        let mut b = [0u8; 16];
+        b.copy_from_slice(&v);
+        b
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS-197 Appendix C.1
+        let key = AesKey::Aes128(block("000102030405060708090a0b0c0d0e0f"));
+        let aes = Aes::new(&key);
+        let mut b = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut b);
+        assert_eq!(b, block("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut b);
+        assert_eq!(b, block("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn fips197_aes192_vector() {
+        // FIPS-197 Appendix C.2
+        let key =
+            AesKey::from_bytes(&from_hex("000102030405060708090a0b0c0d0e0f1011121314151617").unwrap())
+                .unwrap();
+        let aes = Aes::new(&key);
+        let mut b = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut b);
+        assert_eq!(b, block("dda97ca4864cdfe06eaf70a0ec0d7191"));
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        // FIPS-197 Appendix C.3
+        let key = AesKey::from_bytes(
+            &from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f").unwrap(),
+        )
+        .unwrap();
+        let aes = Aes::new(&key);
+        let mut b = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut b);
+        assert_eq!(b, block("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut b);
+        assert_eq!(b, block("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_cbc_aes128() {
+        // NIST SP 800-38A F.2.1 (first block)
+        let key = AesKey::Aes128(block("2b7e151628aed2a6abf7158809cf4f3c"));
+        let aes = Aes::new(&key);
+        let iv = block("000102030405060708090a0b0c0d0e0f");
+        let pt = from_hex("6bc1bee22e409f96e93d7e117393172a").unwrap();
+        let ct = aes.encrypt_cbc(&pt, &iv);
+        assert_eq!(&ct[..16], &from_hex("7649abac8119b246cee98e9b12e9197d").unwrap()[..]);
+    }
+
+    #[test]
+    fn nist_sp800_38a_ctr_aes128() {
+        // NIST SP 800-38A F.5.1: CTR with full 128-bit counter. Our CTR
+        // xors a 32-bit counter into the low bytes, which coincides with the
+        // NIST counter layout for the first 2^32 blocks.
+        let key = AesKey::Aes128(block("2b7e151628aed2a6abf7158809cf4f3c"));
+        let aes = Aes::new(&key);
+        let nonce = block("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+        let pt = from_hex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51").unwrap();
+        let ct = aes.apply_ctr(&pt, &nonce);
+        let expect =
+            from_hex("874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff").unwrap();
+        assert_eq!(ct, expect);
+    }
+
+    #[test]
+    fn cbc_roundtrip_various_lengths() {
+        let key = AesKey::Aes256([0x42; 32]);
+        let aes = Aes::new(&key);
+        let iv = [9u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let ct = aes.encrypt_cbc(&pt, &iv);
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > pt.len(), "padding always expands");
+            assert_eq!(aes.decrypt_cbc(&ct, &iv).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_symmetry() {
+        let key = AesKey::Aes128([1; 16]);
+        let aes = Aes::new(&key);
+        let nonce = [3u8; 16];
+        let pt = b"counter mode is an involution".to_vec();
+        let ct = aes.apply_ctr(&pt, &nonce);
+        assert_ne!(ct, pt);
+        assert_eq!(aes.apply_ctr(&ct, &nonce), pt);
+    }
+
+    #[test]
+    fn ecb_roundtrip() {
+        let key = AesKey::Aes192([5; 24]);
+        let aes = Aes::new(&key);
+        let pt = b"electronic codebook".to_vec();
+        let ct = aes.encrypt_ecb(&pt);
+        assert_eq!(aes.decrypt_ecb(&ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn wrong_key_fails_padding_or_differs() {
+        let aes1 = Aes::new(&AesKey::Aes128([1; 16]));
+        let aes2 = Aes::new(&AesKey::Aes128([2; 16]));
+        let iv = [0u8; 16];
+        let ct = aes1.encrypt_cbc(b"some secret data here", &iv);
+        match aes2.decrypt_cbc(&ct, &iv) {
+            Err(AesError::BadPadding) => {}
+            Ok(pt) => assert_ne!(pt, b"some secret data here".to_vec()),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn bad_ciphertext_length_rejected() {
+        let aes = Aes::new(&AesKey::Aes128([0; 16]));
+        let iv = [0u8; 16];
+        assert_eq!(aes.decrypt_cbc(&[], &iv), Err(AesError::BadCiphertextLen(0)));
+        assert_eq!(
+            aes.decrypt_cbc(&[1, 2, 3], &iv),
+            Err(AesError::BadCiphertextLen(3))
+        );
+    }
+
+    #[test]
+    fn pkcs7_edge_cases() {
+        let mut v = vec![16u8; 16];
+        pkcs7_unpad(&mut v).unwrap();
+        assert!(v.is_empty());
+
+        let mut bad = vec![0u8; 16];
+        assert_eq!(pkcs7_unpad(&mut bad), Err(AesError::BadPadding));
+
+        let mut bad2 = vec![1u8, 2, 3, 5, 4]; // last byte says 4 but bytes disagree
+        assert_eq!(pkcs7_unpad(&mut bad2), Err(AesError::BadPadding));
+    }
+
+    #[test]
+    fn key_from_bytes_validates_length() {
+        assert!(AesKey::from_bytes(&[0; 16]).is_ok());
+        assert!(AesKey::from_bytes(&[0; 24]).is_ok());
+        assert!(AesKey::from_bytes(&[0; 32]).is_ok());
+        assert_eq!(AesKey::from_bytes(&[0; 17]), Err(AesError::BadKeyLen(17)));
+    }
+
+    #[test]
+    fn debug_never_prints_key_material() {
+        let key = AesKey::Aes128([0xAB; 16]);
+        let s = format!("{key:?}");
+        assert!(s.contains("redacted"));
+        assert!(!s.contains("171")); // 0xAB
+    }
+
+    #[test]
+    fn distinct_ivs_produce_distinct_ciphertexts() {
+        let aes = Aes::new(&AesKey::Aes128([7; 16]));
+        let ct1 = aes.encrypt_cbc(b"same plaintext", &[0u8; 16]);
+        let ct2 = aes.encrypt_cbc(b"same plaintext", &[1u8; 16]);
+        assert_ne!(ct1, ct2);
+    }
+}

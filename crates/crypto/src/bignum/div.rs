@@ -1,0 +1,174 @@
+//! Multi-precision division (Knuth TAOCP vol. 2, Algorithm 4.3.1 D).
+
+use super::BigUint;
+
+/// Divides `dividend` by `divisor`, returning `(quotient, remainder)`.
+///
+/// # Panics
+///
+/// Panics if `divisor` is zero.
+pub(super) fn div_rem(dividend: &BigUint, divisor: &BigUint) -> (BigUint, BigUint) {
+    assert!(!divisor.is_zero(), "division by zero BigUint");
+    if dividend < divisor {
+        return (BigUint::zero(), dividend.clone());
+    }
+    if divisor.limbs().len() == 1 {
+        let (q, r) = div_rem_small(dividend, divisor.limbs()[0]);
+        return (q, BigUint::from_u64(r));
+    }
+    div_rem_knuth(dividend, divisor)
+}
+
+/// Fast path: divide by a single limb.
+fn div_rem_small(dividend: &BigUint, divisor: u64) -> (BigUint, u64) {
+    let mut quotient = vec![0u64; dividend.limbs().len()];
+    let mut rem = 0u128;
+    for (i, &limb) in dividend.limbs().iter().enumerate().rev() {
+        let acc = (rem << 64) | limb as u128;
+        quotient[i] = (acc / divisor as u128) as u64;
+        rem = acc % divisor as u128;
+    }
+    (BigUint::from_limbs(quotient), rem as u64)
+}
+
+/// General case: Knuth Algorithm D with 64-bit limbs.
+fn div_rem_knuth(dividend: &BigUint, divisor: &BigUint) -> (BigUint, BigUint) {
+    let n = divisor.limbs().len();
+    let m = dividend.limbs().len() - n;
+
+    // D1: normalize so the divisor's top limb has its high bit set.
+    let shift = divisor.limbs()[n - 1].leading_zeros() as usize;
+    let v = (divisor << shift).limbs().to_vec();
+    let mut u = (dividend << shift).limbs().to_vec();
+    u.resize(dividend.limbs().len() + 1, 0); // extra high limb u[m+n]
+
+    let mut q = vec![0u64; m + 1];
+    let v_top = v[n - 1];
+    let v_next = v[n - 2];
+
+    // D2..D7: main loop over quotient digits.
+    for j in (0..=m).rev() {
+        // D3: estimate q_hat from the top two dividend limbs.
+        let numerator = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut q_hat = numerator / v_top as u128;
+        let mut r_hat = numerator % v_top as u128;
+        // Refine: q_hat is at most 2 too large.
+        while q_hat >> 64 != 0
+            || q_hat * v_next as u128 > ((r_hat << 64) | u[j + n - 2] as u128)
+        {
+            q_hat -= 1;
+            r_hat += v_top as u128;
+            if r_hat >> 64 != 0 {
+                break;
+            }
+        }
+
+        // D4: multiply-and-subtract u[j..j+n] -= q_hat * v.
+        let mut borrow = 0i128;
+        let mut carry = 0u128;
+        for i in 0..n {
+            let p = q_hat * v[i] as u128 + carry;
+            carry = p >> 64;
+            let sub = u[j + i] as i128 - (p as u64) as i128 + borrow;
+            u[j + i] = sub as u64;
+            borrow = sub >> 64;
+        }
+        let sub = u[j + n] as i128 - carry as i128 + borrow;
+        u[j + n] = sub as u64;
+        borrow = sub >> 64;
+
+        // D5/D6: if we subtracted too much, add back one divisor.
+        if borrow < 0 {
+            q_hat -= 1;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let sum = u[j + i] as u128 + v[i] as u128 + carry;
+                u[j + i] = sum as u64;
+                carry = sum >> 64;
+            }
+            u[j + n] = u[j + n].wrapping_add(carry as u64);
+        }
+
+        q[j] = q_hat as u64;
+    }
+
+    // D8: denormalize the remainder.
+    let remainder = &BigUint::from_limbs(u[..n].to_vec()) >> shift;
+    (BigUint::from_limbs(q), remainder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::BigUint;
+    use proptest::prelude::*;
+
+    fn big(hex: &str) -> BigUint {
+        BigUint::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn divide_by_larger_gives_zero_quotient() {
+        let (q, r) = big("5").div_rem(&big("100"));
+        assert!(q.is_zero());
+        assert_eq!(r, big("5"));
+    }
+
+    #[test]
+    fn exact_division() {
+        let a = big("123456789abcdef0");
+        let b = big("10");
+        let (q, r) = (&a * &b).div_rem(&b);
+        assert_eq!(q, a);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn single_limb_divisor() {
+        let (q, r) = big("ffffffffffffffffffffffffffffffff").div_rem(&big("3"));
+        assert_eq!(&(&q * &big("3")) + &r, big("ffffffffffffffffffffffffffffffff"));
+        assert!(r < big("3"));
+    }
+
+    #[test]
+    fn multi_limb_known_quotient() {
+        // 2^192 / (2^64 + 1) — exercises the q_hat refinement.
+        let a = &BigUint::one() << 192;
+        let b = &(&BigUint::one() << 64) + &BigUint::one();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn knuth_add_back_case() {
+        // Constructed so that the initial q_hat over-estimates and the
+        // add-back branch (D6) executes: dividend top limbs equal divisor's.
+        let a = big("80000000000000000000000000000000fffffffffffffffe");
+        let b = big("800000000000000000000000000000ff");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn division_by_zero_panics() {
+        let _ = BigUint::one().div_rem(&BigUint::zero());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn prop_div_rem_identity(
+            a in proptest::collection::vec(any::<u8>(), 1..48),
+            b in proptest::collection::vec(any::<u8>(), 1..24),
+        ) {
+            let dividend = BigUint::from_bytes_be(&a);
+            let divisor = BigUint::from_bytes_be(&b);
+            prop_assume!(!divisor.is_zero());
+            let (q, r) = dividend.div_rem(&divisor);
+            prop_assert!(r < divisor);
+            prop_assert_eq!(&(&q * &divisor) + &r, dividend);
+        }
+    }
+}

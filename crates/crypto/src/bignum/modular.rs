@@ -1,0 +1,204 @@
+//! Modular arithmetic: exponentiation, GCD, and modular inverse.
+
+use super::BigUint;
+
+/// Computes `base^exp mod modulus` with left-to-right square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+pub(super) fn modpow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+    assert!(!modulus.is_zero(), "modpow with zero modulus");
+    if modulus.is_one() {
+        return BigUint::zero();
+    }
+    let mut result = BigUint::one();
+    let mut acc = base.rem(modulus);
+    for i in 0..exp.bits() {
+        if exp.bit(i) {
+            result = (&result * &acc).rem(modulus);
+        }
+        if i + 1 < exp.bits() {
+            acc = (&acc * &acc).rem(modulus);
+        }
+    }
+    result
+}
+
+/// Computes the greatest common divisor by the Euclidean algorithm.
+pub(super) fn gcd(a: &BigUint, b: &BigUint) -> BigUint {
+    let mut a = a.clone();
+    let mut b = b.clone();
+    while !b.is_zero() {
+        let r = a.rem(&b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Computes `a^-1 mod modulus` by the extended Euclidean algorithm, or
+/// `None` when `gcd(a, modulus) != 1`.
+pub(super) fn modinv(a: &BigUint, modulus: &BigUint) -> Option<BigUint> {
+    if modulus.is_zero() || modulus.is_one() {
+        return None;
+    }
+    // Track coefficients as (sign, magnitude) pairs to stay unsigned.
+    let mut r_prev = modulus.clone();
+    let mut r = a.rem(modulus);
+    // t coefficients: t_prev = 0, t = 1; signs: true = non-negative.
+    let mut t_prev = (true, BigUint::zero());
+    let mut t = (true, BigUint::one());
+
+    while !r.is_zero() {
+        let (q, r_next) = r_prev.div_rem(&r);
+        // t_next = t_prev - q * t
+        let qt = &q * &t.1;
+        let t_next = signed_sub(&t_prev, &(t.0, qt));
+        r_prev = r;
+        r = r_next;
+        t_prev = t;
+        t = t_next;
+    }
+    if !r_prev.is_one() {
+        return None; // not coprime
+    }
+    // Normalize t_prev into [0, modulus).
+    let inv = if t_prev.0 {
+        t_prev.1.rem(modulus)
+    } else {
+        let m = t_prev.1.rem(modulus);
+        if m.is_zero() {
+            m
+        } else {
+            modulus - &m
+        }
+    };
+    Some(inv)
+}
+
+/// Computes `a - b` where both carry a sign flag (`true` = non-negative).
+fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        (true, false) => (true, &a.1 + &b.1),
+        (false, true) => (false, &a.1 + &b.1),
+        (true, true) => match a.1.checked_sub(&b.1) {
+            Some(d) => (true, d),
+            None => (false, &b.1 - &a.1),
+        },
+        (false, false) => match b.1.checked_sub(&a.1) {
+            Some(d) => (true, d),
+            None => (false, &a.1 - &b.1),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::BigUint;
+    use proptest::prelude::*;
+
+    fn big(hex: &str) -> BigUint {
+        BigUint::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn modpow_small_known_values() {
+        // 3^4 mod 5 = 1
+        let r = BigUint::from_u64(3).modpow(&BigUint::from_u64(4), &BigUint::from_u64(5));
+        assert!(r.is_one());
+        // 2^10 mod 1000 = 24
+        let r = BigUint::from_u64(2).modpow(&BigUint::from_u64(10), &BigUint::from_u64(1000));
+        assert_eq!(r, BigUint::from_u64(24));
+    }
+
+    #[test]
+    fn modpow_zero_exponent_is_one() {
+        let r = big("deadbeef").modpow(&BigUint::zero(), &big("10001"));
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn modpow_modulus_one_is_zero() {
+        let r = big("deadbeef").modpow(&big("3"), &BigUint::one());
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // p = 2^61 - 1 is prime; a^(p-1) ≡ 1 (mod p).
+        let p = BigUint::from_u64((1u64 << 61) - 1);
+        let pm1 = &p - &BigUint::one();
+        for a in [2u64, 3, 65537, 123456789] {
+            let r = BigUint::from_u64(a).modpow(&pm1, &p);
+            assert!(r.is_one(), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn gcd_known_values() {
+        assert_eq!(
+            BigUint::from_u64(48).gcd(&BigUint::from_u64(18)),
+            BigUint::from_u64(6)
+        );
+        assert_eq!(BigUint::zero().gcd(&BigUint::from_u64(7)), BigUint::from_u64(7));
+        assert_eq!(BigUint::from_u64(7).gcd(&BigUint::zero()), BigUint::from_u64(7));
+    }
+
+    #[test]
+    fn modinv_known_values() {
+        // 3 * 4 = 12 ≡ 1 (mod 11)
+        let inv = BigUint::from_u64(3).modinv(&BigUint::from_u64(11)).unwrap();
+        assert_eq!(inv, BigUint::from_u64(4));
+        // Not coprime → None
+        assert!(BigUint::from_u64(6).modinv(&BigUint::from_u64(9)).is_none());
+        // Degenerate moduli
+        assert!(BigUint::from_u64(3).modinv(&BigUint::zero()).is_none());
+        assert!(BigUint::from_u64(3).modinv(&BigUint::one()).is_none());
+    }
+
+    #[test]
+    fn modinv_of_rsa_style_exponent() {
+        // e = 65537 modulo a made-up phi; verify e * d ≡ 1 (mod phi).
+        let e = BigUint::from_u64(65537);
+        let phi = big("c3a9f2b47d1e6650a83f917c22d48a9be5af7d30");
+        let d = e.modinv(&phi).unwrap();
+        assert!((&e * &d).rem(&phi).is_one());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_modpow_matches_naive(base in 0u64..1000, exp in 0u32..24, m in 2u64..10_000) {
+            let naive = {
+                let mut acc: u128 = 1;
+                for _ in 0..exp {
+                    acc = acc * base as u128 % m as u128;
+                }
+                acc as u64
+            };
+            let r = BigUint::from_u64(base)
+                .modpow(&BigUint::from_u64(exp as u64), &BigUint::from_u64(m));
+            prop_assert_eq!(r, BigUint::from_u64(naive));
+        }
+
+        #[test]
+        fn prop_modinv_is_inverse(a in 1u64..100_000, m in 2u64..100_000) {
+            let ba = BigUint::from_u64(a);
+            let bm = BigUint::from_u64(m);
+            if let Some(inv) = ba.modinv(&bm) {
+                prop_assert!((&ba * &inv).rem(&bm).is_one());
+                prop_assert!(inv < bm);
+            } else {
+                prop_assert!(!ba.gcd(&bm).is_one() || bm.is_one());
+            }
+        }
+
+        #[test]
+        fn prop_gcd_divides_both(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+            let g = BigUint::from_u64(a).gcd(&BigUint::from_u64(b));
+            prop_assert!(BigUint::from_u64(a).rem(&g).is_zero());
+            prop_assert!(BigUint::from_u64(b).rem(&g).is_zero());
+        }
+    }
+}

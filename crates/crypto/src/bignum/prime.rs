@@ -1,0 +1,155 @@
+//! Probabilistic primality testing and prime generation.
+
+use super::BigUint;
+use rand::Rng;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199,
+];
+
+/// Tests `n` for primality with trial division plus `rounds` rounds of
+/// Miller–Rabin with random bases.
+///
+/// A composite survives with probability at most `4^-rounds`; 20 rounds is
+/// plenty for key generation.
+///
+/// # Examples
+///
+/// ```
+/// use biot_crypto::bignum::{is_probable_prime, BigUint};
+/// let mut rng = rand::thread_rng();
+/// assert!(is_probable_prime(&BigUint::from_u64(65537), 20, &mut rng));
+/// assert!(!is_probable_prime(&BigUint::from_u64(65539 * 3), 20, &mut rng));
+/// ```
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let bp = BigUint::from_u64(p);
+        if *n == bp {
+            return true;
+        }
+        if n.rem(&bp).is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n - &one;
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = &d >> 1;
+        s += 1;
+    }
+    let two = BigUint::from_u64(2);
+    let bound = n_minus_1.checked_sub(&two).map(|b| &b + &one);
+    'witness: for _ in 0..rounds {
+        // Random base in [2, n-2].
+        let a = match &bound {
+            Some(b) if !b.is_zero() => &BigUint::random_below(rng, b) + &two,
+            _ => two.clone(),
+        };
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = (&x * &x).rem(n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The returned value has its top bit set (so products of two such primes
+/// have predictable width) and is odd.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 2, "cannot generate a prime under 2 bits");
+    loop {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        candidate.set_bit(0); // force odd
+        if is_probable_prime(&candidate, 20, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in [2u64, 3, 5, 7, 97, 101, 65537, 2_147_483_647] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 20, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        for c in [0u64, 1, 4, 6, 9, 100, 65536, 2_147_483_649] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat tests but not Miller–Rabin.
+        let mut rng = StdRng::seed_from_u64(4);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut rng),
+                "Carmichael {c} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^127 - 1 is a Mersenne prime.
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = &(&BigUint::one() << 127) - &BigUint::one();
+        assert!(is_probable_prime(&p, 16, &mut rng));
+        // 2^128 - 1 is composite.
+        let c = &(&BigUint::one() << 128) - &BigUint::one();
+        assert!(!is_probable_prime(&c, 16, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_width_and_is_odd() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for bits in [16usize, 32, 64, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bits(), bits);
+            assert!(!p.is_even());
+            assert!(is_probable_prime(&p, 20, &mut rng));
+        }
+    }
+
+    #[test]
+    fn product_of_generated_primes_is_composite() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = gen_prime(48, &mut rng);
+        let q = gen_prime(48, &mut rng);
+        assert!(!is_probable_prime(&(&p * &q), 20, &mut rng));
+    }
+}

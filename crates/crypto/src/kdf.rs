@@ -1,0 +1,124 @@
+//! HKDF key derivation (RFC 5869) over HMAC-SHA-256.
+//!
+//! B-IoT distributes one session key per device (Fig 4); deployments that
+//! rotate keys per epoch can derive epoch keys from the distributed master
+//! secret instead of re-running the handshake:
+//!
+//! ```
+//! use biot_crypto::kdf::hkdf;
+//!
+//! let master = [7u8; 32];
+//! let epoch_key = hkdf(Some(b"factory-7"), &master, b"epoch-42", 32);
+//! assert_eq!(epoch_key.len(), 32);
+//! ```
+
+use crate::sha256::{hmac_sha256, DIGEST_LEN};
+
+/// HKDF-Extract: compresses input keying material into a pseudorandom key.
+///
+/// `salt` defaults to a zero-filled block when absent (per RFC 5869 §2.2).
+pub fn hkdf_extract(salt: Option<&[u8]>, ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    let zero_salt = [0u8; DIGEST_LEN];
+    hmac_sha256(salt.unwrap_or(&zero_salt), ikm)
+}
+
+/// HKDF-Expand: stretches a pseudorandom key into `len` output bytes bound
+/// to `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32` (the RFC 5869 limit).
+pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
+    let mut okm = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut data = t.clone();
+        data.extend_from_slice(info);
+        data.push(counter);
+        t = hmac_sha256(prk, &data).to_vec();
+        okm.extend_from_slice(&t);
+        counter = counter.wrapping_add(1); // never re-used: ≤255 blocks total
+    }
+    okm.truncate(len);
+    okm
+}
+
+/// One-shot HKDF: extract then expand.
+pub fn hkdf(salt: Option<&[u8]>, ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::{from_hex, to_hex};
+
+    /// RFC 5869 Appendix A, test case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = from_hex("000102030405060708090a0b0c").unwrap();
+        let info = from_hex("f0f1f2f3f4f5f6f7f8f9").unwrap();
+        let prk = hkdf_extract(Some(&salt), &ikm);
+        assert_eq!(
+            to_hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = hkdf_expand(&prk, &info, 42);
+        assert_eq!(
+            to_hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    /// RFC 5869 Appendix A, test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf(Some(&[]), &ikm, &[], 42);
+        assert_eq!(
+            to_hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn missing_salt_equals_zero_salt() {
+        let ikm = b"input keying material";
+        assert_eq!(
+            hkdf_extract(None, ikm),
+            hkdf_extract(Some(&[0u8; DIGEST_LEN]), ikm)
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let master = [9u8; 32];
+        let a = hkdf(None, &master, b"epoch-1", 32);
+        let b = hkdf(None, &master, b"epoch-2", 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn output_lengths() {
+        let prk = hkdf_extract(None, b"x");
+        assert_eq!(hkdf_expand(&prk, b"", 0).len(), 0);
+        assert_eq!(hkdf_expand(&prk, b"", 1).len(), 1);
+        assert_eq!(hkdf_expand(&prk, b"", 33).len(), 33);
+        assert_eq!(hkdf_expand(&prk, b"", 255 * 32).len(), 255 * 32);
+        // Prefix property: longer output starts with shorter output.
+        let short = hkdf_expand(&prk, b"i", 16);
+        let long = hkdf_expand(&prk, b"i", 64);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_long_output_panics() {
+        let prk = hkdf_extract(None, b"x");
+        hkdf_expand(&prk, b"", 255 * 32 + 1);
+    }
+}

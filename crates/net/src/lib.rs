@@ -1,0 +1,45 @@
+//! # biot-net
+//!
+//! A deterministic discrete-event network simulator: the substrate on
+//! which B-IoT's end-to-end scenarios and throughput experiments run.
+//! The paper evaluated on a live IOTA network plus a Raspberry Pi; we
+//! replace the live network with a virtual-time simulation so experiments
+//! are reproducible and independent of host speed.
+//!
+//! ## Modules
+//!
+//! * [`time`] — [`time::SimTime`], virtual milliseconds.
+//! * [`queue`] — [`queue::EventQueue`], the deterministic event heap.
+//! * [`latency`] — pluggable link latency models.
+//! * [`network`] — lossy, partitionable message passing and broadcast.
+//! * [`topology`] — explicit link graphs with multi-hop Dijkstra routing.
+//!
+//! ## Example: a two-node ping over a lossy link
+//!
+//! ```
+//! use biot_net::network::{Network, NodeAddr};
+//! use biot_net::queue::EventQueue;
+//!
+//! let mut rng = rand::thread_rng();
+//! let mut net: Network<&str> = Network::new();
+//! let mut queue = EventQueue::new();
+//! net.set_loss(0.0);
+//! net.send(&mut queue, NodeAddr(0), NodeAddr(1), "hello", &mut rng);
+//! while let Some((time, envelope)) = queue.pop() {
+//!     println!("{time}: {} -> {}: {}", envelope.from, envelope.to, envelope.msg);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod network;
+pub mod queue;
+pub mod topology;
+pub mod time;
+
+pub use network::{Envelope, NetStats, Network, NodeAddr};
+pub use queue::EventQueue;
+pub use topology::{Route, RoutedNetwork, Topology};
+pub use time::SimTime;

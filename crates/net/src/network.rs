@@ -1,0 +1,335 @@
+//! The simulated network: addressed nodes, lossy links, partitions, and
+//! gossip-style broadcast on top of the event queue.
+
+use crate::latency::{FixedLatency, LatencyModel};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A node address in the simulated network.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
+)]
+pub struct NodeAddr(pub u32);
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A message in flight, delivered through the event queue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: NodeAddr,
+    /// Recipient.
+    pub to: NodeAddr,
+    /// Application message.
+    pub msg: M,
+}
+
+/// Counters for network behaviour, used by throughput experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages handed to the queue for delivery.
+    pub sent: u64,
+    /// Messages dropped by loss.
+    pub lost: u64,
+    /// Messages blocked by a partition or a down node.
+    pub blocked: u64,
+}
+
+/// A simulated fully-connected network with loss, partitions, and node
+/// failures.
+///
+/// The network does not own the event queue — callers pass it in so one
+/// queue can carry network deliveries alongside other simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use biot_net::network::{Network, NodeAddr};
+/// use biot_net::queue::EventQueue;
+///
+/// let mut rng = rand::thread_rng();
+/// let mut net: Network<&str> = Network::new();
+/// let mut queue = EventQueue::new();
+/// net.send(&mut queue, NodeAddr(0), NodeAddr(1), "ping", &mut rng);
+/// let (_, env) = queue.pop().expect("delivered");
+/// assert_eq!(env.msg, "ping");
+/// ```
+pub struct Network<M> {
+    latency: Box<dyn LatencyModel + Send + Sync>,
+    /// Probability in `[0, 1]` that any message is silently lost.
+    loss: f64,
+    /// Unordered pairs that cannot communicate.
+    partitions: HashSet<(NodeAddr, NodeAddr)>,
+    /// Nodes that are down (cannot send or receive).
+    down: HashSet<NodeAddr>,
+    stats: NetStats,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("loss", &self.loss)
+            .field("partitions", &self.partitions.len())
+            .field("down", &self.down.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<M> Default for Network<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Network<M> {
+    /// Creates a lossless network with a fixed 5 ms latency (a LAN-ish
+    /// default for gateway meshes).
+    pub fn new() -> Self {
+        Self {
+            latency: Box::new(FixedLatency(5)),
+            loss: 0.0,
+            partitions: HashSet::new(),
+            down: HashSet::new(),
+            stats: NetStats::default(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Replaces the latency model.
+    pub fn set_latency(&mut self, model: Box<dyn LatencyModel + Send + Sync>) -> &mut Self {
+        self.latency = model;
+        self
+    }
+
+    /// Sets the message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_loss(&mut self, p: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.loss = p;
+        self
+    }
+
+    /// Severs the link between `a` and `b` in both directions.
+    pub fn partition(&mut self, a: NodeAddr, b: NodeAddr) -> &mut Self {
+        self.partitions.insert(Self::pair(a, b));
+        self
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn heal(&mut self, a: NodeAddr, b: NodeAddr) -> &mut Self {
+        self.partitions.remove(&Self::pair(a, b));
+        self
+    }
+
+    /// Takes a node down (single point of failure injection).
+    pub fn fail_node(&mut self, n: NodeAddr) -> &mut Self {
+        self.down.insert(n);
+        self
+    }
+
+    /// Brings a node back up.
+    pub fn recover_node(&mut self, n: NodeAddr) -> &mut Self {
+        self.down.remove(&n);
+        self
+    }
+
+    /// Returns true if `n` is currently down.
+    pub fn is_down(&self, n: NodeAddr) -> bool {
+        self.down.contains(&n)
+    }
+
+    /// Returns true if `a` and `b` can currently communicate.
+    pub fn connected(&self, a: NodeAddr, b: NodeAddr) -> bool {
+        !self.down.contains(&a)
+            && !self.down.contains(&b)
+            && !self.partitions.contains(&Self::pair(a, b))
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Sends `msg` from `from` to `to`, scheduling an [`Envelope`] delivery
+    /// on `queue`. Returns `true` if the message was scheduled (it may still
+    /// be received later than others — latency is per-message).
+    pub fn send(
+        &mut self,
+        queue: &mut EventQueue<Envelope<M>>,
+        from: NodeAddr,
+        to: NodeAddr,
+        msg: M,
+        rng: &mut dyn RngCore,
+    ) -> bool {
+        if !self.connected(from, to) {
+            self.stats.blocked += 1;
+            return false;
+        }
+        if self.loss > 0.0 {
+            let draw = rng.next_u64() as f64 / u64::MAX as f64;
+            if draw < self.loss {
+                self.stats.lost += 1;
+                return false;
+            }
+        }
+        let delay = self.latency.sample_ms(rng);
+        queue.schedule_in(delay, Envelope { from, to, msg });
+        self.stats.sent += 1;
+        true
+    }
+
+    /// Broadcasts `msg` from `from` to every address in `peers` (excluding
+    /// `from` itself). Returns how many copies were scheduled.
+    pub fn broadcast(
+        &mut self,
+        queue: &mut EventQueue<Envelope<M>>,
+        from: NodeAddr,
+        peers: &[NodeAddr],
+        msg: M,
+        rng: &mut dyn RngCore,
+    ) -> usize
+    where
+        M: Clone,
+    {
+        let mut delivered = 0;
+        for &p in peers {
+            if p == from {
+                continue;
+            }
+            if self.send(queue, from, p, msg.clone(), rng) {
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Current virtual time helper (mirrors `queue.now()` for call sites
+    /// that only hold the network).
+    pub fn now(queue: &EventQueue<Envelope<M>>) -> SimTime {
+        queue.now()
+    }
+
+    fn pair(a: NodeAddr, b: NodeAddr) -> (NodeAddr, NodeAddr) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::UniformLatency;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Network<u32>, EventQueue<Envelope<u32>>, StdRng) {
+        (Network::new(), EventQueue::new(), StdRng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn send_delivers_with_latency() {
+        let (mut net, mut q, mut rng) = setup();
+        assert!(net.send(&mut q, NodeAddr(0), NodeAddr(1), 42, &mut rng));
+        let (t, env) = q.pop().unwrap();
+        assert_eq!(t.as_millis(), 5);
+        assert_eq!(env, Envelope { from: NodeAddr(0), to: NodeAddr(1), msg: 42 });
+        assert_eq!(net.stats().sent, 1);
+    }
+
+    #[test]
+    fn loss_drops_messages() {
+        let (mut net, mut q, mut rng) = setup();
+        net.set_loss(1.0);
+        assert!(!net.send(&mut q, NodeAddr(0), NodeAddr(1), 1, &mut rng));
+        assert!(q.is_empty());
+        assert_eq!(net.stats().lost, 1);
+    }
+
+    #[test]
+    fn partial_loss_is_probabilistic() {
+        let (mut net, mut q, mut rng) = setup();
+        net.set_loss(0.5);
+        let mut ok = 0;
+        for i in 0..1000 {
+            if net.send(&mut q, NodeAddr(0), NodeAddr(1), i, &mut rng) {
+                ok += 1;
+            }
+        }
+        assert!((400..600).contains(&ok), "delivered {ok}/1000 at p=0.5");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_loss_panics() {
+        let (mut net, ..) = setup();
+        net.set_loss(1.5);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let (mut net, mut q, mut rng) = setup();
+        net.partition(NodeAddr(0), NodeAddr(1));
+        assert!(!net.send(&mut q, NodeAddr(0), NodeAddr(1), 1, &mut rng));
+        assert!(!net.send(&mut q, NodeAddr(1), NodeAddr(0), 1, &mut rng));
+        assert!(net.send(&mut q, NodeAddr(0), NodeAddr(2), 1, &mut rng));
+        assert_eq!(net.stats().blocked, 2);
+        net.heal(NodeAddr(0), NodeAddr(1));
+        assert!(net.send(&mut q, NodeAddr(0), NodeAddr(1), 1, &mut rng));
+    }
+
+    #[test]
+    fn down_node_cannot_send_or_receive() {
+        let (mut net, mut q, mut rng) = setup();
+        net.fail_node(NodeAddr(1));
+        assert!(net.is_down(NodeAddr(1)));
+        assert!(!net.send(&mut q, NodeAddr(1), NodeAddr(0), 1, &mut rng));
+        assert!(!net.send(&mut q, NodeAddr(0), NodeAddr(1), 1, &mut rng));
+        net.recover_node(NodeAddr(1));
+        assert!(net.send(&mut q, NodeAddr(0), NodeAddr(1), 1, &mut rng));
+    }
+
+    #[test]
+    fn broadcast_skips_self_and_counts() {
+        let (mut net, mut q, mut rng) = setup();
+        let peers = [NodeAddr(0), NodeAddr(1), NodeAddr(2), NodeAddr(3)];
+        let n = net.broadcast(&mut q, NodeAddr(0), &peers, 9, &mut rng);
+        assert_eq!(n, 3);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn latency_model_is_configurable() {
+        let (mut net, mut q, mut rng) = setup();
+        net.set_latency(Box::new(UniformLatency::new(100, 200)));
+        net.send(&mut q, NodeAddr(0), NodeAddr(1), 1, &mut rng);
+        let (t, _) = q.pop().unwrap();
+        assert!((100..=200).contains(&t.as_millis()));
+    }
+
+    #[test]
+    fn connected_reflects_state() {
+        let (mut net, ..) = setup();
+        assert!(net.connected(NodeAddr(0), NodeAddr(1)));
+        net.partition(NodeAddr(0), NodeAddr(1));
+        assert!(!net.connected(NodeAddr(0), NodeAddr(1)));
+        net.heal(NodeAddr(0), NodeAddr(1));
+        net.fail_node(NodeAddr(0));
+        assert!(!net.connected(NodeAddr(0), NodeAddr(1)));
+    }
+}

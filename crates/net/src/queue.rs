@@ -1,0 +1,209 @@
+//! The discrete-event queue: a priority queue over virtual time.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time.
+///
+/// Events with equal times fire in schedule order (FIFO), which keeps runs
+/// deterministic.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// The driver loop pops events in time order; popping advances the virtual
+/// clock. Scheduling in the past is clamped to *now* (an event can never
+/// rewind time).
+///
+/// # Examples
+///
+/// ```
+/// use biot_net::queue::EventQueue;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule_in(20, "second");
+/// q.schedule_in(10, "first");
+/// assert_eq!(q.pop().map(|(t, e)| (t.as_millis(), e)), Some((10, "first")));
+/// assert_eq!(q.pop().map(|(t, e)| (t.as_millis(), e)), Some((20, "second")));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// The current virtual time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let time = at.max(self.now);
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after `delay_ms` milliseconds of virtual time.
+    pub fn schedule_in(&mut self, delay_ms: u64, event: E) {
+        self.schedule_at(self.now + delay_ms, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "time went backwards");
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_in(30, 3);
+        q.schedule_in(10, 1);
+        q.schedule_in(20, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_in(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(100, ());
+        assert_eq!(q.now().as_millis(), 0);
+        q.pop();
+        assert_eq!(q.now().as_millis(), 100);
+    }
+
+    #[test]
+    fn past_scheduling_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(100, "a");
+        q.pop();
+        q.schedule_at(SimTime::from_millis(50), "late");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "late");
+        assert_eq!(t.as_millis(), 100, "clamped to now");
+    }
+
+    #[test]
+    fn relative_scheduling_is_from_now() {
+        let mut q = EventQueue::new();
+        q.schedule_in(100, "a");
+        q.pop();
+        q.schedule_in(10, "b");
+        assert_eq!(q.pop().unwrap().0.as_millis(), 110);
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert!(q.peek_time().is_none());
+        q.schedule_in(5, ());
+        q.schedule_in(3, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time().unwrap().as_millis(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_pop_order(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+            let mut q = EventQueue::new();
+            for (i, d) in delays.iter().enumerate() {
+                q.schedule_in(*d, i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Network topology: explicit link graphs with multi-hop routing.
+//!
+//! The flat [`crate::network::Network`] treats every pair as directly
+//! connected — fine for a gateway mesh on a factory LAN. Wireless sensors,
+//! though, often reach their gateway over relay hops. [`Topology`] models
+//! an explicit link graph with per-link latency and computes shortest
+//! (lowest-latency) routes with Dijkstra's algorithm; partitions fall out
+//! naturally when no path exists.
+
+use crate::network::NodeAddr;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// An explicit link graph with per-link one-way latency in milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use biot_net::network::NodeAddr;
+/// use biot_net::topology::Topology;
+///
+/// let mut topo = Topology::new();
+/// topo.add_link(NodeAddr(0), NodeAddr(1), 5);
+/// topo.add_link(NodeAddr(1), NodeAddr(2), 7);
+/// let route = topo.route(NodeAddr(0), NodeAddr(2)).expect("connected");
+/// assert_eq!(route.total_latency_ms, 12);
+/// assert_eq!(route.hops, vec![NodeAddr(1), NodeAddr(2)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    /// Adjacency: node → (neighbor → latency).
+    links: HashMap<NodeAddr, HashMap<NodeAddr, u64>>,
+    /// Nodes currently down (excluded from routing).
+    down: HashSet<NodeAddr>,
+}
+
+/// A computed route.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Intermediate and final nodes, in order (excludes the source).
+    pub hops: Vec<NodeAddr>,
+    /// Sum of link latencies along the route.
+    pub total_latency_ms: u64,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or updates) a bidirectional link with the given latency.
+    pub fn add_link(&mut self, a: NodeAddr, b: NodeAddr, latency_ms: u64) -> &mut Self {
+        self.links.entry(a).or_default().insert(b, latency_ms);
+        self.links.entry(b).or_default().insert(a, latency_ms);
+        self
+    }
+
+    /// Removes the link between `a` and `b` (both directions).
+    pub fn remove_link(&mut self, a: NodeAddr, b: NodeAddr) -> &mut Self {
+        if let Some(n) = self.links.get_mut(&a) {
+            n.remove(&b);
+        }
+        if let Some(n) = self.links.get_mut(&b) {
+            n.remove(&a);
+        }
+        self
+    }
+
+    /// Marks a node down: no routes may pass through or terminate at it.
+    pub fn fail_node(&mut self, n: NodeAddr) -> &mut Self {
+        self.down.insert(n);
+        self
+    }
+
+    /// Brings a node back.
+    pub fn recover_node(&mut self, n: NodeAddr) -> &mut Self {
+        self.down.remove(&n);
+        self
+    }
+
+    /// Known nodes (anything that ever appeared in a link).
+    pub fn nodes(&self) -> Vec<NodeAddr> {
+        let mut v: Vec<NodeAddr> = self.links.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Direct neighbors of `n` (ignores down state).
+    pub fn neighbors(&self, n: NodeAddr) -> Vec<NodeAddr> {
+        let mut v: Vec<NodeAddr> = self
+            .links
+            .get(&n)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Computes the lowest-latency route from `from` to `to` (Dijkstra).
+    ///
+    /// Returns `None` when no path exists (partition, down nodes, or
+    /// unknown endpoints). A route to oneself is empty with zero latency.
+    pub fn route(&self, from: NodeAddr, to: NodeAddr) -> Option<Route> {
+        if self.down.contains(&from) || self.down.contains(&to) {
+            return None;
+        }
+        if from == to {
+            return Some(Route {
+                hops: Vec::new(),
+                total_latency_ms: 0,
+            });
+        }
+        // Max-heap on Reverse(cost).
+        use std::cmp::Reverse;
+        let mut dist: HashMap<NodeAddr, u64> = HashMap::new();
+        let mut prev: HashMap<NodeAddr, NodeAddr> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        dist.insert(from, 0);
+        heap.push(Reverse((0u64, from)));
+        while let Some(Reverse((cost, node))) = heap.pop() {
+            if node == to {
+                break;
+            }
+            if cost > *dist.get(&node).unwrap_or(&u64::MAX) {
+                continue;
+            }
+            let Some(neighbors) = self.links.get(&node) else {
+                continue;
+            };
+            for (&next, &latency) in neighbors {
+                if self.down.contains(&next) {
+                    continue;
+                }
+                let next_cost = cost + latency;
+                if next_cost < *dist.get(&next).unwrap_or(&u64::MAX) {
+                    dist.insert(next, next_cost);
+                    prev.insert(next, node);
+                    heap.push(Reverse((next_cost, next)));
+                }
+            }
+        }
+        let total = *dist.get(&to)?;
+        // Reconstruct the hop list.
+        let mut hops = vec![to];
+        let mut cur = to;
+        while let Some(&p) = prev.get(&cur) {
+            if p == from {
+                break;
+            }
+            hops.push(p);
+            cur = p;
+        }
+        hops.reverse();
+        Some(Route {
+            hops,
+            total_latency_ms: total,
+        })
+    }
+
+    /// Returns true when a route exists.
+    pub fn connected(&self, a: NodeAddr, b: NodeAddr) -> bool {
+        self.route(a, b).is_some()
+    }
+
+    /// Builds a star topology: `center` linked to every node in `leaves`.
+    pub fn star(center: NodeAddr, leaves: &[NodeAddr], latency_ms: u64) -> Self {
+        let mut t = Self::new();
+        for &l in leaves {
+            t.add_link(center, l, latency_ms);
+        }
+        t
+    }
+
+    /// Builds a line topology over `nodes` in order.
+    pub fn line(nodes: &[NodeAddr], latency_ms: u64) -> Self {
+        let mut t = Self::new();
+        for w in nodes.windows(2) {
+            t.add_link(w[0], w[1], latency_ms);
+        }
+        t
+    }
+}
+
+/// A network whose delivery latency and reachability come from an
+/// explicit [`Topology`] instead of a flat latency model: the one-way
+/// delay of a message is the total latency of the lowest-latency route,
+/// and unreachable destinations are blocked.
+///
+/// # Examples
+///
+/// ```
+/// use biot_net::network::NodeAddr;
+/// use biot_net::queue::EventQueue;
+/// use biot_net::topology::{RoutedNetwork, Topology};
+///
+/// let topo = Topology::line(&[NodeAddr(0), NodeAddr(1), NodeAddr(2)], 10);
+/// let mut net: RoutedNetwork<&str> = RoutedNetwork::new(topo);
+/// let mut queue = EventQueue::new();
+/// assert!(net.send(&mut queue, NodeAddr(0), NodeAddr(2), "hi"));
+/// let (t, env) = queue.pop().unwrap();
+/// assert_eq!(t.as_millis(), 20); // two 10 ms hops
+/// assert_eq!(env.msg, "hi");
+/// ```
+#[derive(Debug)]
+pub struct RoutedNetwork<M> {
+    topology: Topology,
+    sent: u64,
+    blocked: u64,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> RoutedNetwork<M> {
+    /// Creates a routed network over `topology`.
+    pub fn new(topology: Topology) -> Self {
+        Self {
+            topology,
+            sent: 0,
+            blocked: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Mutable access to the topology (fail links/nodes mid-run).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Read access to the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Messages scheduled / blocked so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.sent, self.blocked)
+    }
+
+    /// Sends `msg` from `from` to `to` along the lowest-latency route,
+    /// scheduling delivery after the route's total latency. Returns
+    /// `false` (and blocks the message) when no route exists.
+    pub fn send(
+        &mut self,
+        queue: &mut crate::queue::EventQueue<crate::network::Envelope<M>>,
+        from: NodeAddr,
+        to: NodeAddr,
+        msg: M,
+    ) -> bool {
+        match self.topology.route(from, to) {
+            Some(route) => {
+                queue.schedule_in(
+                    route.total_latency_ms,
+                    crate::network::Envelope { from, to, msg },
+                );
+                self.sent += 1;
+                true
+            }
+            None => {
+                self.blocked += 1;
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeAddr {
+        NodeAddr(i)
+    }
+
+    #[test]
+    fn direct_link_routes() {
+        let mut t = Topology::new();
+        t.add_link(n(0), n(1), 5);
+        let r = t.route(n(0), n(1)).unwrap();
+        assert_eq!(r.hops, vec![n(1)]);
+        assert_eq!(r.total_latency_ms, 5);
+        // Bidirectional.
+        assert_eq!(t.route(n(1), n(0)).unwrap().total_latency_ms, 5);
+    }
+
+    #[test]
+    fn picks_lowest_latency_path() {
+        let mut t = Topology::new();
+        // Direct but slow vs two fast hops.
+        t.add_link(n(0), n(2), 100);
+        t.add_link(n(0), n(1), 10);
+        t.add_link(n(1), n(2), 10);
+        let r = t.route(n(0), n(2)).unwrap();
+        assert_eq!(r.total_latency_ms, 20);
+        assert_eq!(r.hops, vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Topology::line(&[n(0), n(1)], 5);
+        let r = t.route(n(0), n(0)).unwrap();
+        assert!(r.hops.is_empty());
+        assert_eq!(r.total_latency_ms, 0);
+    }
+
+    #[test]
+    fn partition_returns_none() {
+        let mut t = Topology::new();
+        t.add_link(n(0), n(1), 5);
+        t.add_link(n(2), n(3), 5);
+        assert!(t.route(n(0), n(3)).is_none());
+        assert!(!t.connected(n(0), n(2)));
+        assert!(t.connected(n(0), n(1)));
+    }
+
+    #[test]
+    fn removed_link_breaks_route() {
+        let mut t = Topology::line(&[n(0), n(1), n(2)], 5);
+        assert!(t.connected(n(0), n(2)));
+        t.remove_link(n(1), n(2));
+        assert!(!t.connected(n(0), n(2)));
+    }
+
+    #[test]
+    fn down_node_is_routed_around_or_blocks() {
+        let mut t = Topology::new();
+        // Two disjoint paths 0→3: via 1 (fast) and via 2 (slow).
+        t.add_link(n(0), n(1), 5);
+        t.add_link(n(1), n(3), 5);
+        t.add_link(n(0), n(2), 20);
+        t.add_link(n(2), n(3), 20);
+        assert_eq!(t.route(n(0), n(3)).unwrap().total_latency_ms, 10);
+        t.fail_node(n(1));
+        // Routed around the failure through the slow path.
+        let r = t.route(n(0), n(3)).unwrap();
+        assert_eq!(r.total_latency_ms, 40);
+        assert_eq!(r.hops, vec![n(2), n(3)]);
+        t.fail_node(n(2));
+        assert!(t.route(n(0), n(3)).is_none());
+        t.recover_node(n(1));
+        assert_eq!(t.route(n(0), n(3)).unwrap().total_latency_ms, 10);
+    }
+
+    #[test]
+    fn down_endpoint_blocks() {
+        let mut t = Topology::line(&[n(0), n(1)], 5);
+        t.fail_node(n(1));
+        assert!(t.route(n(0), n(1)).is_none());
+        assert!(t.route(n(1), n(0)).is_none());
+    }
+
+    #[test]
+    fn star_and_line_builders() {
+        let star = Topology::star(n(0), &[n(1), n(2), n(3)], 7);
+        assert_eq!(star.route(n(1), n(3)).unwrap().total_latency_ms, 14);
+        assert_eq!(star.neighbors(n(0)), vec![n(1), n(2), n(3)]);
+        let line = Topology::line(&[n(0), n(1), n(2), n(3)], 3);
+        assert_eq!(line.route(n(0), n(3)).unwrap().total_latency_ms, 9);
+        assert_eq!(line.nodes().len(), 4);
+    }
+
+    #[test]
+    fn routed_network_delivers_with_route_latency() {
+        use crate::queue::EventQueue;
+        let topo = Topology::line(&[n(0), n(1), n(2), n(3)], 5);
+        let mut net: RoutedNetwork<u32> = RoutedNetwork::new(topo);
+        let mut q = EventQueue::new();
+        assert!(net.send(&mut q, n(0), n(3), 42));
+        let (t, env) = q.pop().unwrap();
+        assert_eq!(t.as_millis(), 15);
+        assert_eq!(env.msg, 42);
+        assert_eq!(net.counters(), (1, 0));
+    }
+
+    #[test]
+    fn routed_network_blocks_unreachable() {
+        use crate::queue::EventQueue;
+        let mut topo = Topology::line(&[n(0), n(1), n(2)], 5);
+        topo.fail_node(n(1));
+        let mut net: RoutedNetwork<u32> = RoutedNetwork::new(topo);
+        let mut q = EventQueue::new();
+        assert!(!net.send(&mut q, n(0), n(2), 1));
+        assert!(q.is_empty());
+        assert_eq!(net.counters(), (0, 1));
+        // Heal through the topology handle mid-run.
+        net.topology_mut().recover_node(n(1));
+        assert!(net.send(&mut q, n(0), n(2), 2));
+    }
+
+    #[test]
+    fn hop_list_reconstruction_long_path() {
+        let nodes: Vec<NodeAddr> = (0..6).map(n).collect();
+        let t = Topology::line(&nodes, 2);
+        let r = t.route(n(0), n(5)).unwrap();
+        assert_eq!(r.hops, vec![n(1), n(2), n(3), n(4), n(5)]);
+        assert_eq!(r.total_latency_ms, 10);
+    }
+}

@@ -1,0 +1,185 @@
+//! Smart-factory workload generation (the paper's case study, §IV-A).
+
+use biot_core::access::Sensitivity;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a simulated wireless sensor measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SensorKind {
+    /// Ambient temperature (non-sensitive).
+    Temperature,
+    /// Relative humidity (non-sensitive).
+    Humidity,
+    /// Machine vibration (non-sensitive).
+    Vibration,
+    /// Machine operating parameters — the proprietary "solutions" factories
+    /// share through B-IoT (§IV-A.4); sensitive.
+    RecipeParameters,
+    /// Production counters for auditing; sensitive.
+    ProductionCount,
+}
+
+impl SensorKind {
+    /// Whether readings of this kind require confidentiality.
+    pub fn sensitivity(self) -> Sensitivity {
+        match self {
+            SensorKind::Temperature | SensorKind::Humidity | SensorKind::Vibration => {
+                Sensitivity::Public
+            }
+            SensorKind::RecipeParameters | SensorKind::ProductionCount => Sensitivity::Sensitive,
+        }
+    }
+
+    /// All kinds, for round-robin fleet construction.
+    pub fn all() -> [SensorKind; 5] {
+        [
+            SensorKind::Temperature,
+            SensorKind::Humidity,
+            SensorKind::Vibration,
+            SensorKind::RecipeParameters,
+            SensorKind::ProductionCount,
+        ]
+    }
+}
+
+/// A simulated sensor: reading cadence plus a generator for plausible
+/// reading bytes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SensorSpec {
+    /// What it measures.
+    pub kind: SensorKind,
+    /// Reporting period in virtual milliseconds.
+    pub period_ms: u64,
+    /// Uniform jitter added to each period, in milliseconds.
+    pub jitter_ms: u64,
+}
+
+impl SensorSpec {
+    /// A sensible default cadence per kind (environmental sensors report
+    /// slowly, machine telemetry quickly).
+    pub fn with_default_cadence(kind: SensorKind) -> Self {
+        let (period_ms, jitter_ms) = match kind {
+            SensorKind::Temperature | SensorKind::Humidity => (10_000, 2_000),
+            SensorKind::Vibration => (2_000, 500),
+            SensorKind::RecipeParameters => (30_000, 5_000),
+            SensorKind::ProductionCount => (5_000, 1_000),
+        };
+        Self {
+            kind,
+            period_ms,
+            jitter_ms,
+        }
+    }
+
+    /// Generates the reading bytes at virtual time `t_ms`.
+    pub fn reading_at<R: Rng + ?Sized>(&self, t_ms: u64, rng: &mut R) -> Vec<u8> {
+        match self.kind {
+            SensorKind::Temperature => {
+                let v = 20.0 + 3.0 * ((t_ms as f64 / 60_000.0).sin()) + rng.gen_range(-0.5..0.5);
+                format!("temp_c={v:.2}").into_bytes()
+            }
+            SensorKind::Humidity => {
+                let v = 45.0 + rng.gen_range(-5.0..5.0);
+                format!("rh_pct={v:.1}").into_bytes()
+            }
+            SensorKind::Vibration => {
+                let v: f64 = rng.gen_range(0.01..0.8);
+                format!("vib_g={v:.3}").into_bytes()
+            }
+            SensorKind::RecipeParameters => {
+                let speed = rng.gen_range(800..1200);
+                let temp = rng.gen_range(180..220);
+                format!("recipe:spindle_rpm={speed};die_temp_c={temp}").into_bytes()
+            }
+            SensorKind::ProductionCount => {
+                let n = t_ms / 5_000;
+                format!("units_total={n}").into_bytes()
+            }
+        }
+    }
+
+    /// Samples the next reporting delay.
+    pub fn next_delay_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.jitter_ms == 0 {
+            self.period_ms
+        } else {
+            self.period_ms + rng.gen_range(0..=self.jitter_ms)
+        }
+    }
+}
+
+/// Builds a mixed fleet of `n` sensors cycling through all kinds.
+pub fn default_fleet(n: usize) -> Vec<SensorSpec> {
+    SensorKind::all()
+        .into_iter()
+        .cycle()
+        .take(n)
+        .map(SensorSpec::with_default_cadence)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sensitivity_classes() {
+        assert_eq!(SensorKind::Temperature.sensitivity(), Sensitivity::Public);
+        assert_eq!(
+            SensorKind::RecipeParameters.sensitivity(),
+            Sensitivity::Sensitive
+        );
+    }
+
+    #[test]
+    fn readings_are_plausible_text() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in SensorKind::all() {
+            let spec = SensorSpec::with_default_cadence(kind);
+            let r = spec.reading_at(12_345, &mut rng);
+            let s = String::from_utf8(r).expect("readings are UTF-8");
+            assert!(s.contains('='), "{kind:?}: {s}");
+        }
+    }
+
+    #[test]
+    fn delays_respect_period_and_jitter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = SensorSpec {
+            kind: SensorKind::Vibration,
+            period_ms: 1000,
+            jitter_ms: 200,
+        };
+        for _ in 0..100 {
+            let d = spec.next_delay_ms(&mut rng);
+            assert!((1000..=1200).contains(&d));
+        }
+        let no_jitter = SensorSpec {
+            jitter_ms: 0,
+            ..spec
+        };
+        assert_eq!(no_jitter.next_delay_ms(&mut rng), 1000);
+    }
+
+    #[test]
+    fn fleet_cycles_kinds() {
+        let fleet = default_fleet(7);
+        assert_eq!(fleet.len(), 7);
+        assert_eq!(fleet[0].kind, SensorKind::Temperature);
+        assert_eq!(fleet[5].kind, SensorKind::Temperature);
+        assert_eq!(fleet[3].kind, SensorKind::RecipeParameters);
+    }
+
+    #[test]
+    fn production_count_is_monotone_in_time() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = SensorSpec::with_default_cadence(SensorKind::ProductionCount);
+        let early = String::from_utf8(spec.reading_at(10_000, &mut rng)).unwrap();
+        let late = String::from_utf8(spec.reading_at(100_000, &mut rng)).unwrap();
+        let parse = |s: &str| s.split('=').nth(1).unwrap().parse::<u64>().unwrap();
+        assert!(parse(&late) > parse(&early));
+    }
+}

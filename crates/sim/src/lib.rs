@@ -1,0 +1,50 @@
+//! # biot-sim
+//!
+//! Smart-factory simulation harness for the B-IoT reproduction: the
+//! Raspberry-Pi timing calibration, sensor workload generators, attack
+//! injectors, the single-node scenario runner behind Figs 8–9, and the
+//! DAG-vs-chain throughput comparison.
+//!
+//! ## Modules
+//!
+//! * [`pi`] — Pi 3B PoW/AES timing models calibrated to the paper's
+//!   measured anchors.
+//! * [`factory`] — sensors, cadences, and reading generators.
+//! * [`runner`] — the virtual-time single-node runner (credit traces,
+//!   per-transaction PoW cost).
+//! * [`attack`] — measured Sybil / lazy-tips / double-spend / failover /
+//!   parasite-chain experiments (§VI-C).
+//! * [`cluster`] — networked multi-gateway replication with gossip and
+//!   anti-entropy.
+//! * [`fleet`] — many honest nodes + attackers on one gateway (isolation).
+//! * [`wireless`] — multi-hop sensor topologies with relay failures.
+//! * [`throughput`] — tangle vs chain effective-TPS comparison (§II).
+//!
+//! ## Example: reproduce the headline Fig 9 contrast in one call
+//!
+//! ```
+//! use biot_net::time::SimTime;
+//! use biot_sim::runner::{run_single_node, NodeRunConfig, PolicyChoice};
+//!
+//! let mut cfg = NodeRunConfig::default();
+//! cfg.duration = SimTime::from_secs(30);
+//! let credit = run_single_node(&cfg);
+//! cfg.policy = PolicyChoice::original_pow();
+//! let original = run_single_node(&cfg);
+//! assert!(credit.avg_pow_secs() < original.avg_pow_secs());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod cluster;
+pub mod factory;
+pub mod fleet;
+pub mod pi;
+pub mod runner;
+pub mod throughput;
+pub mod wireless;
+
+pub use pi::{AesTiming, PiCalibration};
+pub use runner::{run_single_node, NodeRunConfig, PolicyChoice, RunResult};

@@ -1,0 +1,513 @@
+//! # biot-store
+//!
+//! File-backed persistence for gateway replicas: a length-framed,
+//! checksummed write-ahead log plus periodic snapshot files, with crash
+//! recovery. This addresses the paper's "storage limitations" future-work
+//! note (§VIII): combined with `Tangle::snapshot` pruning, a gateway's
+//! disk footprint stays bounded while the replica survives restarts.
+//!
+//! ## Layout
+//!
+//! A store directory holds:
+//!
+//! * `snapshot.biot` — the last checkpoint (all rows of a
+//!   [`TangleSnapshot`] in the wire codec, custom-framed).
+//! * `wal.biot` — transactions attached since that checkpoint, appended
+//!   as `[varint attach_ms][varint len][codec bytes]` records.
+//!
+//! Recovery = restore the snapshot, then re-attach WAL records in order.
+//! A torn final WAL record (crash mid-append) is detected by the codec
+//! checksum and dropped.
+//!
+//! ## Example
+//!
+//! ```
+//! use biot_store::LedgerStore;
+//! use biot_tangle::graph::Tangle;
+//! use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
+//!
+//! let dir = std::env::temp_dir().join(format!("biot-doc-{}", std::process::id()));
+//! let mut store = LedgerStore::open(&dir)?;
+//!
+//! let mut tangle = Tangle::new();
+//! let genesis = tangle.attach_genesis(NodeId([0; 32]), 0);
+//! store.checkpoint(&tangle)?;
+//!
+//! let tx = TransactionBuilder::new(NodeId([1; 32]))
+//!     .parents(genesis, genesis)
+//!     .payload(Payload::Data(b"reading".to_vec()))
+//!     .build();
+//! tangle.attach(tx.clone(), 5)?;
+//! store.append(&tx, 5)?;
+//!
+//! let recovered = LedgerStore::open(&dir)?.recover()?.expect("state on disk");
+//! assert_eq!(recovered.len(), tangle.len());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use biot_tangle::codec::{decode_tx, encode_tx, CodecError};
+use biot_tangle::graph::{Tangle, TangleError};
+use biot_tangle::snapshot::TangleSnapshot;
+use biot_tangle::tx::{Transaction, TxId};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Errors from the persistence layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A stored transaction failed to decode (and was not the final,
+    /// possibly-torn WAL record).
+    Codec(CodecError),
+    /// Replaying the log produced an inconsistent ledger.
+    Replay(TangleError),
+    /// The snapshot file is structurally invalid.
+    CorruptSnapshot(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o failure: {e}"),
+            StoreError::Codec(e) => write!(f, "stored transaction corrupt: {e}"),
+            StoreError::Replay(e) => write!(f, "log replay failed: {e}"),
+            StoreError::CorruptSnapshot(what) => write!(f, "snapshot corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<TangleError> for StoreError {
+    fn from(e: TangleError) -> Self {
+        StoreError::Replay(e)
+    }
+}
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"BIOTSNP1";
+const WAL_MAGIC: &[u8; 8] = b"BIOTWAL1";
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    for i in 0..10 {
+        let byte = *input.get(*pos)?;
+        *pos += 1;
+        value |= ((byte & 0x7F) as u64) << (7 * i);
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// A directory-backed ledger store: snapshot file + write-ahead log.
+pub struct LedgerStore {
+    dir: PathBuf,
+    wal: File,
+}
+
+impl fmt::Debug for LedgerStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LedgerStore").field("dir", &self.dir).finish()
+    }
+}
+
+impl LedgerStore {
+    /// Opens (creating if needed) a store directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let wal_path = dir.join("wal.biot");
+        let fresh = !wal_path.exists();
+        let mut wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&wal_path)?;
+        if fresh {
+            wal.write_all(WAL_MAGIC)?;
+            wal.sync_data()?;
+        }
+        Ok(Self { dir, wal })
+    }
+
+    /// Appends a freshly attached transaction to the WAL.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; on error the record may be torn,
+    /// which recovery tolerates (the torn tail is dropped).
+    pub fn append(&mut self, tx: &Transaction, attach_ms: u64) -> Result<(), StoreError> {
+        let body = encode_tx(tx);
+        let mut record = Vec::with_capacity(body.len() + 12);
+        write_varint(&mut record, attach_ms);
+        write_varint(&mut record, body.len() as u64);
+        record.extend_from_slice(&body);
+        self.wal.write_all(&record)?;
+        self.wal.sync_data()?;
+        Ok(())
+    }
+
+    /// Writes a full checkpoint of `tangle` and truncates the WAL.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures. The snapshot is written to a
+    /// temporary file and renamed, so a crash mid-checkpoint leaves the
+    /// previous checkpoint intact.
+    pub fn checkpoint(&mut self, tangle: &Tangle) -> Result<(), StoreError> {
+        let snap = TangleSnapshot::capture(tangle);
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        write_varint(&mut out, snap.rows().len() as u64);
+        for (tx, attach_ms, confirmed) in snap.rows() {
+            write_varint(&mut out, *attach_ms);
+            out.push(u8::from(*confirmed));
+            let body = encode_tx(tx);
+            write_varint(&mut out, body.len() as u64);
+            out.extend_from_slice(&body);
+        }
+        write_varint(&mut out, snap.pruned().len() as u64);
+        for id in snap.pruned() {
+            out.extend_from_slice(&id.0);
+        }
+        let tmp = self.dir.join("snapshot.tmp");
+        let final_path = self.dir.join("snapshot.biot");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        // Start a fresh WAL.
+        let wal_path = self.dir.join("wal.biot");
+        let mut wal = File::create(&wal_path)?;
+        wal.write_all(WAL_MAGIC)?;
+        wal.sync_data()?;
+        self.wal = OpenOptions::new().append(true).read(true).open(&wal_path)?;
+        Ok(())
+    }
+
+    /// Recovers the ledger from disk: snapshot (if any) plus WAL replay.
+    ///
+    /// Returns `Ok(None)` when the directory holds no state yet. A torn
+    /// final WAL record is silently dropped; corruption anywhere else is
+    /// an error.
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreError`].
+    pub fn recover(&self) -> Result<Option<Tangle>, StoreError> {
+        let snap_path = self.dir.join("snapshot.biot");
+        let mut tangle = if snap_path.exists() {
+            Some(self.read_snapshot(&snap_path)?)
+        } else {
+            None
+        };
+
+        let wal_path = self.dir.join("wal.biot");
+        if wal_path.exists() {
+            let mut data = Vec::new();
+            File::open(&wal_path)?.read_to_end(&mut data)?;
+            if data.len() >= WAL_MAGIC.len() {
+                if &data[..WAL_MAGIC.len()] != WAL_MAGIC {
+                    return Err(StoreError::CorruptSnapshot("wal magic"));
+                }
+                let mut pos = WAL_MAGIC.len();
+                while pos < data.len() {
+                    let record_start = pos;
+                    let Some(attach_ms) = read_varint(&data, &mut pos) else {
+                        break; // torn tail
+                    };
+                    let Some(len) = read_varint(&data, &mut pos) else {
+                        break;
+                    };
+                    let end = pos + len as usize;
+                    if end > data.len() {
+                        break; // torn tail
+                    }
+                    match decode_tx(&data[pos..end]) {
+                        Ok(tx) => {
+                            let t = tangle.get_or_insert_with(Tangle::new);
+                            if tx.is_genesis() {
+                                if t.genesis().is_none() {
+                                    t.attach_genesis(tx.issuer, attach_ms);
+                                }
+                            } else {
+                                t.attach(tx, attach_ms)?;
+                            }
+                        }
+                        Err(e) => {
+                            // Only the final record may be torn/corrupt.
+                            if end == data.len() {
+                                break;
+                            }
+                            let _ = record_start;
+                            return Err(e.into());
+                        }
+                    }
+                    pos = end;
+                }
+            }
+        }
+        Ok(tangle)
+    }
+
+    fn read_snapshot(&self, path: &Path) -> Result<Tangle, StoreError> {
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        if data.len() < SNAPSHOT_MAGIC.len() || &data[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(StoreError::CorruptSnapshot("magic"));
+        }
+        let mut pos = SNAPSHOT_MAGIC.len();
+        let n = read_varint(&data, &mut pos).ok_or(StoreError::CorruptSnapshot("row count"))?;
+        let mut rows = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let attach_ms =
+                read_varint(&data, &mut pos).ok_or(StoreError::CorruptSnapshot("attach time"))?;
+            let confirmed = *data.get(pos).ok_or(StoreError::CorruptSnapshot("flag"))? != 0;
+            pos += 1;
+            let len =
+                read_varint(&data, &mut pos).ok_or(StoreError::CorruptSnapshot("tx length"))?;
+            let end = pos + len as usize;
+            if end > data.len() {
+                return Err(StoreError::CorruptSnapshot("tx body"));
+            }
+            let tx = decode_tx(&data[pos..end])?;
+            pos = end;
+            rows.push((tx, attach_ms, confirmed));
+        }
+        let n_pruned =
+            read_varint(&data, &mut pos).ok_or(StoreError::CorruptSnapshot("pruned count"))?;
+        let mut pruned = Vec::with_capacity(n_pruned as usize);
+        for _ in 0..n_pruned {
+            let end = pos + 32;
+            let slice = data
+                .get(pos..end)
+                .ok_or(StoreError::CorruptSnapshot("pruned id"))?;
+            let mut id = [0u8; 32];
+            id.copy_from_slice(slice);
+            pruned.push(TxId(id));
+            pos = end;
+        }
+        let snap = TangleSnapshot::from_rows(rows, pruned);
+        Ok(snap.restore()?)
+    }
+
+    /// Size of the current WAL in bytes (for checkpoint policies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn wal_size(&self) -> Result<u64, StoreError> {
+        Ok(fs::metadata(self.dir.join("wal.biot"))?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_NO: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique temp directory per test, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> Self {
+            let n = DIR_NO.fetch_add(1, Ordering::SeqCst);
+            let path = std::env::temp_dir()
+                .join(format!("biot-store-test-{}-{n}", std::process::id()));
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn grow(tangle: &mut Tangle, store: &mut LedgerStore, n: usize, base_ms: u64) {
+        for i in 0..n {
+            let tips = tangle.tips();
+            let tx = TransactionBuilder::new(NodeId([(i + 1) as u8; 32]))
+                .parents(tips[0], *tips.last().unwrap())
+                .payload(Payload::Data(vec![i as u8, base_ms as u8]))
+                .timestamp_ms(base_ms + i as u64)
+                .build();
+            let at = base_ms + i as u64;
+            tangle.attach(tx.clone(), at).unwrap();
+            store.append(&tx, at).unwrap();
+        }
+    }
+
+    #[test]
+    fn fresh_store_recovers_nothing() {
+        let dir = TempDir::new();
+        let store = LedgerStore::open(&dir.0).unwrap();
+        assert!(store.recover().unwrap().is_none());
+    }
+
+    #[test]
+    fn wal_only_recovery() {
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        let genesis_tx = TransactionBuilder::new(NodeId([0; 32]))
+            .payload(Payload::Data(b"genesis".to_vec()))
+            .build();
+        tangle.attach_genesis(NodeId([0; 32]), 0);
+        store.append(&genesis_tx, 0).unwrap();
+        grow(&mut tangle, &mut store, 5, 10);
+
+        let recovered = store.recover().unwrap().unwrap();
+        assert_eq!(recovered.len(), tangle.len());
+        assert_eq!(recovered.tips(), tangle.tips());
+    }
+
+    #[test]
+    fn checkpoint_plus_wal_recovery() {
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        tangle.attach_genesis(NodeId([0; 32]), 0);
+        grow(&mut tangle, &mut store, 5, 10);
+        tangle.confirm_with_threshold(2);
+        store.checkpoint(&tangle).unwrap();
+        // WAL restarts empty after a checkpoint.
+        assert_eq!(store.wal_size().unwrap(), WAL_MAGIC.len() as u64);
+        grow(&mut tangle, &mut store, 4, 100);
+
+        let recovered = LedgerStore::open(&dir.0).unwrap().recover().unwrap().unwrap();
+        assert_eq!(recovered.len(), tangle.len());
+        assert_eq!(recovered.tips(), tangle.tips());
+        // Confirmation flags survive the checkpoint.
+        for tx in tangle.iter() {
+            let id = tx.id();
+            if tangle.attach_time_ms(&id).unwrap() < 100 {
+                assert_eq!(recovered.status(&id), tangle.status(&id), "{id:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn torn_wal_tail_is_dropped() {
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        tangle.attach_genesis(NodeId([0; 32]), 0);
+        let genesis_tx = TransactionBuilder::new(NodeId([0; 32]))
+            .payload(Payload::Data(b"genesis".to_vec()))
+            .build();
+        store.append(&genesis_tx, 0).unwrap();
+        grow(&mut tangle, &mut store, 3, 10);
+
+        // Simulate a crash mid-append: truncate the last 5 bytes.
+        let wal_path = dir.0.join("wal.biot");
+        let data = fs::read(&wal_path).unwrap();
+        fs::write(&wal_path, &data[..data.len() - 5]).unwrap();
+
+        let recovered = LedgerStore::open(&dir.0).unwrap().recover().unwrap().unwrap();
+        // One transaction lost (the torn one), everything earlier intact.
+        assert_eq!(recovered.len(), tangle.len() - 1);
+    }
+
+    #[test]
+    fn corrupt_middle_record_is_an_error() {
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        tangle.attach_genesis(NodeId([0; 32]), 0);
+        let genesis_tx = TransactionBuilder::new(NodeId([0; 32]))
+            .payload(Payload::Data(b"genesis".to_vec()))
+            .build();
+        store.append(&genesis_tx, 0).unwrap();
+        grow(&mut tangle, &mut store, 3, 10);
+
+        let wal_path = dir.0.join("wal.biot");
+        let mut data = fs::read(&wal_path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        fs::write(&wal_path, &data).unwrap();
+
+        let result = LedgerStore::open(&dir.0).unwrap().recover();
+        assert!(result.is_err(), "corruption in the middle must not pass silently");
+    }
+
+    #[test]
+    fn checkpoint_is_atomic_under_reopen() {
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        tangle.attach_genesis(NodeId([0; 32]), 0);
+        grow(&mut tangle, &mut store, 3, 10);
+        store.checkpoint(&tangle).unwrap();
+        drop(store);
+        // Reopen twice; state identical both times.
+        let a = LedgerStore::open(&dir.0).unwrap().recover().unwrap().unwrap();
+        let b = LedgerStore::open(&dir.0).unwrap().recover().unwrap().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.tips(), b.tips());
+    }
+
+    #[test]
+    fn pruned_ids_survive_checkpoint() {
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        tangle.attach_genesis(NodeId([0; 32]), 0);
+        grow(&mut tangle, &mut store, 6, 10);
+        tangle.confirm_with_threshold(2);
+        let pruned_count = tangle.snapshot(14);
+        assert!(pruned_count > 0);
+        store.checkpoint(&tangle).unwrap();
+        let recovered = LedgerStore::open(&dir.0).unwrap().recover().unwrap().unwrap();
+        assert_eq!(recovered.len(), tangle.len());
+        for tx in tangle.iter() {
+            for p in tx.parents() {
+                if tangle.is_pruned(&p) {
+                    assert!(recovered.is_pruned(&p));
+                }
+            }
+        }
+    }
+}

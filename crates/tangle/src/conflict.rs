@@ -1,0 +1,162 @@
+//! Misbehaviour detection on the tangle: lazy-tip approvals.
+//!
+//! Double-spend detection lives inside [`crate::graph::Tangle::attach`]
+//! (it must be atomic with attachment); lazy-tip detection is a *policy*
+//! evaluated by gateways before or after attachment, so it lives here.
+
+use crate::graph::Tangle;
+use crate::tx::{Transaction, TxId};
+use serde::{Deserialize, Serialize};
+
+/// Policy deciding when an approval counts as "lazy" (paper §III):
+/// a node that keeps verifying a fixed pair of very old transactions
+/// instead of contributing to recent tips.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LazyTipPolicy {
+    /// A parent older than this (in virtual ms) at approval time is stale.
+    pub max_parent_age_ms: u64,
+    /// A parent that already has at least this many approvers no longer
+    /// needs approvals; re-approving it is lazy.
+    pub max_parent_approvers: usize,
+}
+
+impl Default for LazyTipPolicy {
+    /// Matches the simulation defaults: parents older than one ΔT (30 s)
+    /// or already approved twice are stale.
+    fn default() -> Self {
+        Self {
+            max_parent_age_ms: 30_000,
+            max_parent_approvers: 2,
+        }
+    }
+}
+
+/// The verdict for one approval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LazyVerdict {
+    /// Both parents were fresh tips.
+    Honest,
+    /// At least one parent was stale; carries how many (1 or 2).
+    Lazy(u8),
+}
+
+impl LazyTipPolicy {
+    /// Judges the parent choice of `tx` against the tangle state at
+    /// `now_ms`. Call **before** attaching `tx` (afterwards the tx itself
+    /// counts among its parents' approvers).
+    ///
+    /// Unknown (e.g. pruned) parents are treated as stale: an honest node
+    /// never needs to approve something old enough to have been pruned.
+    pub fn judge(&self, tangle: &Tangle, tx: &Transaction, now_ms: u64) -> LazyVerdict {
+        let stale = tx
+            .parents()
+            .iter()
+            .filter(|p| self.is_stale(tangle, p, now_ms))
+            .count() as u8;
+        if stale == 0 {
+            LazyVerdict::Honest
+        } else {
+            LazyVerdict::Lazy(stale)
+        }
+    }
+
+    fn is_stale(&self, tangle: &Tangle, parent: &TxId, now_ms: u64) -> bool {
+        match tangle.attach_time_ms(parent) {
+            None => true, // unknown or pruned
+            Some(attached) => {
+                let age = now_ms.saturating_sub(attached);
+                age > self.max_parent_age_ms
+                    || tangle.approvers(parent).len() >= self.max_parent_approvers
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{NodeId, Payload, TransactionBuilder};
+
+    fn setup() -> (Tangle, TxId) {
+        let mut t = Tangle::new();
+        let g = t.attach_genesis(NodeId([0; 32]), 0);
+        (t, g)
+    }
+
+    fn tx_with_parents(trunk: TxId, branch: TxId, ts: u64) -> Transaction {
+        TransactionBuilder::new(NodeId([1; 32]))
+            .parents(trunk, branch)
+            .payload(Payload::Data(vec![ts as u8]))
+            .timestamp_ms(ts)
+            .build()
+    }
+
+    #[test]
+    fn fresh_parents_are_honest() {
+        let (mut t, g) = setup();
+        let a = t.attach(tx_with_parents(g, g, 1), 1).unwrap();
+        let policy = LazyTipPolicy::default();
+        let next = tx_with_parents(a, a, 100);
+        assert_eq!(policy.judge(&t, &next, 100), LazyVerdict::Honest);
+    }
+
+    #[test]
+    fn old_parents_are_lazy() {
+        let (mut t, g) = setup();
+        let a = t.attach(tx_with_parents(g, g, 1), 1).unwrap();
+        let policy = LazyTipPolicy::default();
+        let late = tx_with_parents(a, a, 40_000);
+        assert_eq!(policy.judge(&t, &late, 40_000), LazyVerdict::Lazy(2));
+    }
+
+    #[test]
+    fn over_approved_parents_are_lazy() {
+        let (mut t, g) = setup();
+        let a = t.attach(tx_with_parents(g, g, 1), 1).unwrap();
+        // Give `a` two approvers.
+        let b = t.attach(tx_with_parents(a, a, 2), 2).unwrap();
+        let _c = t.attach(tx_with_parents(a, b, 3), 3).unwrap();
+        let policy = LazyTipPolicy::default();
+        // Approving `a` again shortly after is lazy (approver count), even
+        // though it is not old.
+        let lazy = tx_with_parents(a, a, 10);
+        assert_eq!(policy.judge(&t, &lazy, 10), LazyVerdict::Lazy(2));
+    }
+
+    #[test]
+    fn one_stale_one_fresh_counts_one() {
+        let (mut t, g) = setup();
+        let a = t.attach(tx_with_parents(g, g, 1), 1).unwrap();
+        let b = t.attach(tx_with_parents(a, a, 30_000), 30_000).unwrap();
+        let policy = LazyTipPolicy::default();
+        // a is now old AND has an approver... pick a genuinely fresh one (b)
+        // and the stale a.
+        let mixed = tx_with_parents(a, b, 40_000);
+        assert_eq!(policy.judge(&t, &mixed, 40_000), LazyVerdict::Lazy(1));
+    }
+
+    #[test]
+    fn unknown_parent_is_stale() {
+        let (t, _g) = setup();
+        let policy = LazyTipPolicy::default();
+        let ghost = tx_with_parents(TxId([9; 32]), TxId([9; 32]), 1);
+        assert_eq!(policy.judge(&t, &ghost, 1), LazyVerdict::Lazy(2));
+    }
+
+    #[test]
+    fn policy_thresholds_are_respected() {
+        let (mut t, g) = setup();
+        let a = t.attach(tx_with_parents(g, g, 0), 0).unwrap();
+        let strict = LazyTipPolicy {
+            max_parent_age_ms: 10,
+            max_parent_approvers: 1,
+        };
+        let tx = tx_with_parents(a, a, 11);
+        assert_eq!(strict.judge(&t, &tx, 11), LazyVerdict::Lazy(2));
+        let loose = LazyTipPolicy {
+            max_parent_age_ms: 1_000_000,
+            max_parent_approvers: 1_000,
+        };
+        assert_eq!(loose.judge(&t, &tx, 11), LazyVerdict::Honest);
+    }
+}

@@ -1,0 +1,637 @@
+//! The tangle itself: a DAG of transactions with tip tracking, weights,
+//! confirmation, conflict (double-spend) detection, and snapshotting.
+
+use crate::tx::{Payload, Transaction, TxId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Validation status of an attached transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxStatus {
+    /// Attached but not yet confirmed by enough approvers.
+    Pending,
+    /// Cumulative weight reached the confirmation threshold.
+    Confirmed,
+}
+
+/// Errors returned by [`Tangle::attach`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TangleError {
+    /// The transaction id is already present.
+    Duplicate(TxId),
+    /// A referenced parent is unknown.
+    UnknownParent {
+        /// The transaction being attached.
+        tx: TxId,
+        /// The missing parent.
+        parent: TxId,
+    },
+    /// The payload spends a token that an earlier, still-valid transaction
+    /// already spent.
+    DoubleSpend {
+        /// The rejected transaction.
+        tx: TxId,
+        /// The transaction that spent the token first.
+        original: TxId,
+        /// The disputed token.
+        token: [u8; 32],
+    },
+    /// A non-genesis transaction used the reserved genesis parent id.
+    InvalidGenesisReference(TxId),
+}
+
+impl fmt::Display for TangleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TangleError::Duplicate(id) => write!(f, "transaction {id:?} already attached"),
+            TangleError::UnknownParent { tx, parent } => {
+                write!(f, "transaction {tx:?} references unknown parent {parent:?}")
+            }
+            TangleError::DoubleSpend { tx, original, .. } => {
+                write!(f, "transaction {tx:?} double-spends a token first spent by {original:?}")
+            }
+            TangleError::InvalidGenesisReference(id) => {
+                write!(f, "non-genesis transaction {id:?} references the genesis parent id")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TangleError {}
+
+/// A stored transaction with its graph metadata.
+#[derive(Clone, Debug)]
+struct Entry {
+    tx: Transaction,
+    approvers: Vec<TxId>,
+    attach_time_ms: u64,
+    /// Monotone attach sequence number (true arrival order).
+    seq: u64,
+    status: TxStatus,
+}
+
+/// A DAG-structured ledger (the tangle of paper §II-B).
+///
+/// # Examples
+///
+/// ```
+/// use biot_tangle::graph::Tangle;
+/// use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
+///
+/// let mut tangle = Tangle::new();
+/// let genesis = tangle.attach_genesis(NodeId([0; 32]), 0);
+/// let tx = TransactionBuilder::new(NodeId([1; 32]))
+///     .parents(genesis, genesis)
+///     .payload(Payload::Data(b"first reading".to_vec()))
+///     .timestamp_ms(10)
+///     .build();
+/// let id = tangle.attach(tx, 10)?;
+/// assert!(tangle.tips().contains(&id));
+/// # Ok::<(), biot_tangle::graph::TangleError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Tangle {
+    entries: HashMap<TxId, Entry>,
+    /// Current tips (attached, not yet approved), ordered for determinism.
+    tips: BTreeSet<TxId>,
+    /// First-seen valid spend per token.
+    spends: HashMap<[u8; 32], TxId>,
+    /// Ids removed by snapshotting; treated as known-confirmed ancestors.
+    pruned: HashSet<TxId>,
+    genesis: Option<TxId>,
+    /// Monotone count of everything ever attached (survives pruning).
+    total_attached: u64,
+}
+
+impl Tangle {
+    /// Creates an empty tangle (no genesis yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a genesis transaction issued by `issuer` at `now_ms` and
+    /// returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a genesis is already present.
+    pub fn attach_genesis(&mut self, issuer: crate::tx::NodeId, now_ms: u64) -> TxId {
+        assert!(self.genesis.is_none(), "genesis already attached");
+        let tx = crate::tx::TransactionBuilder::new(issuer)
+            .timestamp_ms(now_ms)
+            .payload(Payload::Data(b"genesis".to_vec()))
+            .build();
+        let id = tx.id();
+        self.entries.insert(
+            id,
+            Entry {
+                tx,
+                approvers: Vec::new(),
+                attach_time_ms: now_ms,
+                seq: self.total_attached,
+                status: TxStatus::Confirmed,
+            },
+        );
+        self.tips.insert(id);
+        self.genesis = Some(id);
+        self.total_attached += 1;
+        id
+    }
+
+    /// The genesis id, if one was attached.
+    pub fn genesis(&self) -> Option<TxId> {
+        self.genesis
+    }
+
+    /// Validates and attaches `tx`, returning its id.
+    ///
+    /// On success the transaction becomes a tip and its parents stop being
+    /// tips.
+    ///
+    /// # Errors
+    ///
+    /// * [`TangleError::Duplicate`] — id already attached.
+    /// * [`TangleError::UnknownParent`] — a parent is neither attached nor
+    ///   pruned-confirmed.
+    /// * [`TangleError::InvalidGenesisReference`] — parents are the zero id
+    ///   but a genesis already exists.
+    /// * [`TangleError::DoubleSpend`] — payload re-spends a token; the
+    ///   transaction is **not** stored, matching the paper's "detected and
+    ///   canceled" semantics. The caller can feed the error into the credit
+    ///   punisher.
+    pub fn attach(&mut self, tx: Transaction, now_ms: u64) -> Result<TxId, TangleError> {
+        let id = tx.id();
+        if self.entries.contains_key(&id) || self.pruned.contains(&id) {
+            return Err(TangleError::Duplicate(id));
+        }
+        for parent in tx.parents() {
+            if parent == TxId::GENESIS_PARENT {
+                return Err(TangleError::InvalidGenesisReference(id));
+            }
+            if !self.entries.contains_key(&parent) && !self.pruned.contains(&parent) {
+                return Err(TangleError::UnknownParent { tx: id, parent });
+            }
+        }
+        if let Payload::Spend { token, .. } = &tx.payload {
+            if let Some(&original) = self.spends.get(token) {
+                return Err(TangleError::DoubleSpend {
+                    tx: id,
+                    original,
+                    token: *token,
+                });
+            }
+            self.spends.insert(*token, id);
+        }
+        let parents = tx.parents();
+        for (i, parent) in parents.iter().enumerate() {
+            if i == 1 && parents[1] == parents[0] {
+                continue; // same parent twice counts once
+            }
+            if let Some(entry) = self.entries.get_mut(parent) {
+                entry.approvers.push(id);
+            }
+            self.tips.remove(parent);
+        }
+        self.entries.insert(
+            id,
+            Entry {
+                tx,
+                approvers: Vec::new(),
+                attach_time_ms: now_ms,
+                seq: self.total_attached,
+                status: TxStatus::Pending,
+            },
+        );
+        self.tips.insert(id);
+        self.total_attached += 1;
+        Ok(id)
+    }
+
+    /// Returns the current tips in deterministic (id) order.
+    pub fn tips(&self) -> Vec<TxId> {
+        self.tips.iter().copied().collect()
+    }
+
+    /// Number of current tips.
+    pub fn tip_count(&self) -> usize {
+        self.tips.len()
+    }
+
+    /// Looks up a transaction.
+    pub fn get(&self, id: &TxId) -> Option<&Transaction> {
+        self.entries.get(id).map(|e| &e.tx)
+    }
+
+    /// Returns true if `id` is attached (pruned ids return false).
+    pub fn contains(&self, id: &TxId) -> bool {
+        self.entries.contains_key(id)
+    }
+
+    /// Returns the status of an attached transaction.
+    pub fn status(&self, id: &TxId) -> Option<TxStatus> {
+        self.entries.get(id).map(|e| e.status)
+    }
+
+    /// Virtual time at which `id` was attached.
+    pub fn attach_time_ms(&self, id: &TxId) -> Option<u64> {
+        self.entries.get(id).map(|e| e.attach_time_ms)
+    }
+
+    /// Monotone attach sequence number of `id` (true arrival order, even
+    /// among transactions sharing an attach instant).
+    pub fn attach_seq(&self, id: &TxId) -> Option<u64> {
+        self.entries.get(id).map(|e| e.seq)
+    }
+
+    /// Direct approvers of `id` (transactions that chose it as a parent).
+    pub fn approvers(&self, id: &TxId) -> &[TxId] {
+        self.entries
+            .get(id)
+            .map(|e| e.approvers.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of transactions currently stored (excludes pruned).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Monotone count of every transaction ever attached.
+    pub fn total_attached(&self) -> u64 {
+        self.total_attached
+    }
+
+    /// Iterates over all stored transactions in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.entries.values().map(|e| &e.tx)
+    }
+
+    /// Computes the cumulative weight of `id`: 1 (own weight) plus the
+    /// number of distinct transactions that directly or indirectly approve
+    /// it (paper §II-B: "proportional to the number of validations").
+    ///
+    /// Returns 0 for unknown ids.
+    pub fn cumulative_weight(&self, id: &TxId) -> u64 {
+        if !self.entries.contains_key(id) {
+            return 0;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(*id);
+        seen.insert(*id);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(entry) = self.entries.get(&cur) {
+                for &a in &entry.approvers {
+                    if seen.insert(a) {
+                        queue.push_back(a);
+                    }
+                }
+            }
+        }
+        seen.len() as u64
+    }
+
+    /// Marks every pending transaction whose cumulative weight reaches
+    /// `threshold` as confirmed; returns the newly confirmed ids.
+    ///
+    /// This is the asynchronous analogue of bitcoin's six-block rule the
+    /// paper mentions: weight accumulates as later transactions approve.
+    pub fn confirm_with_threshold(&mut self, threshold: u64) -> Vec<TxId> {
+        let pending: Vec<TxId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.status == TxStatus::Pending)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut confirmed = Vec::new();
+        for id in pending {
+            if self.cumulative_weight(&id) >= threshold {
+                if let Some(entry) = self.entries.get_mut(&id) {
+                    entry.status = TxStatus::Confirmed;
+                    confirmed.push(id);
+                }
+            }
+        }
+        confirmed.sort();
+        confirmed
+    }
+
+    /// Returns true if `ancestor` is reachable from `descendant` by
+    /// following parent links (i.e. `descendant` approves `ancestor`
+    /// directly or indirectly).
+    pub fn approves(&self, descendant: &TxId, ancestor: &TxId) -> bool {
+        if descendant == ancestor {
+            return false;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(*descendant);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(entry) = self.entries.get(&cur) {
+                for p in entry.tx.parents() {
+                    if p == *ancestor {
+                        return true;
+                    }
+                    if seen.insert(p) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All ancestors of `id` (transactions it approves), breadth-first.
+    pub fn ancestors(&self, id: &TxId) -> Vec<TxId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(*id);
+        while let Some(cur) = queue.pop_front() {
+            if let Some(entry) = self.entries.get(&cur) {
+                for p in entry.tx.parents() {
+                    if p != TxId::GENESIS_PARENT && seen.insert(p) {
+                        if self.entries.contains_key(&p) {
+                            out.push(p);
+                            queue.push_back(p);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Who spent `token`, if anyone.
+    pub fn spender_of(&self, token: &[u8; 32]) -> Option<TxId> {
+        self.spends.get(token).copied()
+    }
+
+    /// Snapshots the tangle: removes every **confirmed** transaction
+    /// attached strictly before `before_ms`, remembering the removed ids so
+    /// later parent references remain valid. Tips and pending transactions
+    /// are never pruned. Returns the number of transactions removed.
+    pub fn snapshot(&mut self, before_ms: u64) -> usize {
+        let victims: Vec<TxId> = self
+            .entries
+            .iter()
+            .filter(|(id, e)| {
+                e.status == TxStatus::Confirmed
+                    && e.attach_time_ms < before_ms
+                    && !self.tips.contains(id)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &victims {
+            self.entries.remove(id);
+            self.pruned.insert(*id);
+        }
+        // Drop approver references to surviving entries only.
+        for entry in self.entries.values_mut() {
+            entry.approvers.retain(|a| !self.pruned.contains(a));
+        }
+        victims.len()
+    }
+
+    /// Returns true if the id was removed by a snapshot.
+    pub fn is_pruned(&self, id: &TxId) -> bool {
+        self.pruned.contains(id)
+    }
+
+    /// All pruned ids, sorted (for snapshot capture).
+    pub(crate) fn pruned_ids(&self) -> Vec<TxId> {
+        let mut v: Vec<TxId> = self.pruned.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Marks ids as pruned-known ancestors (snapshot restore only).
+    pub(crate) fn mark_pruned(&mut self, ids: impl IntoIterator<Item = TxId>) {
+        self.pruned.extend(ids);
+    }
+
+    /// Restores confirmation flags (snapshot restore only).
+    pub(crate) fn force_confirm(&mut self, ids: impl IntoIterator<Item = TxId>) {
+        for id in ids {
+            if let Some(e) = self.entries.get_mut(&id) {
+                e.status = TxStatus::Confirmed;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{NodeId, TransactionBuilder};
+
+    fn node(n: u8) -> NodeId {
+        NodeId([n; 32])
+    }
+
+    /// Builds a tangle with a genesis and returns (tangle, genesis id).
+    fn with_genesis() -> (Tangle, TxId) {
+        let mut t = Tangle::new();
+        let g = t.attach_genesis(node(0), 0);
+        (t, g)
+    }
+
+    fn data_tx(issuer: u8, trunk: TxId, branch: TxId, ts: u64) -> Transaction {
+        TransactionBuilder::new(node(issuer))
+            .parents(trunk, branch)
+            .payload(Payload::Data(format!("d{issuer}-{ts}").into_bytes()))
+            .timestamp_ms(ts)
+            .build()
+    }
+
+    #[test]
+    fn genesis_is_confirmed_tip() {
+        let (t, g) = with_genesis();
+        assert_eq!(t.status(&g), Some(TxStatus::Confirmed));
+        assert_eq!(t.tips(), vec![g]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.genesis(), Some(g));
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_genesis_panics() {
+        let (mut t, _) = with_genesis();
+        t.attach_genesis(node(1), 1);
+    }
+
+    #[test]
+    fn attach_moves_tip() {
+        let (mut t, g) = with_genesis();
+        let id = t.attach(data_tx(1, g, g, 10), 10).unwrap();
+        assert_eq!(t.tips(), vec![id]);
+        assert_eq!(t.approvers(&g), &[id]);
+        assert_eq!(t.status(&id), Some(TxStatus::Pending));
+        assert_eq!(t.total_attached(), 2);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let (mut t, g) = with_genesis();
+        let tx = data_tx(1, g, g, 10);
+        let id = t.attach(tx.clone(), 10).unwrap();
+        assert_eq!(t.attach(tx, 11), Err(TangleError::Duplicate(id)));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let (mut t, g) = with_genesis();
+        let phantom = TxId([0xEE; 32]);
+        let tx = data_tx(1, g, phantom, 10);
+        let id = tx.id();
+        assert_eq!(
+            t.attach(tx, 10),
+            Err(TangleError::UnknownParent { tx: id, parent: phantom })
+        );
+        assert!(!t.contains(&id));
+    }
+
+    #[test]
+    fn genesis_parent_reference_rejected_after_genesis() {
+        let (mut t, _) = with_genesis();
+        let tx = TransactionBuilder::new(node(1))
+            .payload(Payload::Data(b"fake genesis".to_vec()))
+            .timestamp_ms(5)
+            .build();
+        let id = tx.id();
+        assert_eq!(t.attach(tx, 5), Err(TangleError::InvalidGenesisReference(id)));
+    }
+
+    #[test]
+    fn double_spend_detected_and_cancelled() {
+        let (mut t, g) = with_genesis();
+        let token = [0x77; 32];
+        let spend1 = TransactionBuilder::new(node(1))
+            .parents(g, g)
+            .payload(Payload::Spend { token, to: node(2) })
+            .timestamp_ms(10)
+            .build();
+        let id1 = t.attach(spend1, 10).unwrap();
+        let spend2 = TransactionBuilder::new(node(3))
+            .parents(id1, id1)
+            .payload(Payload::Spend { token, to: node(3) })
+            .timestamp_ms(20)
+            .build();
+        let id2 = spend2.id();
+        assert_eq!(
+            t.attach(spend2, 20),
+            Err(TangleError::DoubleSpend { tx: id2, original: id1, token })
+        );
+        assert!(!t.contains(&id2));
+        assert_eq!(t.spender_of(&token), Some(id1));
+        // Different token is fine.
+        let other = TransactionBuilder::new(node(3))
+            .parents(id1, id1)
+            .payload(Payload::Spend { token: [0x78; 32], to: node(3) })
+            .timestamp_ms(21)
+            .build();
+        assert!(t.attach(other, 21).is_ok());
+    }
+
+    #[test]
+    fn cumulative_weight_counts_distinct_approvers() {
+        let (mut t, g) = with_genesis();
+        let a = t.attach(data_tx(1, g, g, 1), 1).unwrap();
+        let b = t.attach(data_tx(2, a, a, 2), 2).unwrap();
+        let c = t.attach(data_tx(3, a, b, 3), 3).unwrap();
+        // a is approved by b and c; weight = own(1) + {b, c} = 3.
+        assert_eq!(t.cumulative_weight(&a), 3);
+        assert_eq!(t.cumulative_weight(&b), 2);
+        assert_eq!(t.cumulative_weight(&c), 1);
+        assert_eq!(t.cumulative_weight(&g), 4);
+        assert_eq!(t.cumulative_weight(&TxId([9; 32])), 0);
+    }
+
+    #[test]
+    fn confirmation_threshold() {
+        let (mut t, g) = with_genesis();
+        let a = t.attach(data_tx(1, g, g, 1), 1).unwrap();
+        assert!(t.confirm_with_threshold(3).is_empty());
+        let b = t.attach(data_tx(2, a, a, 2), 2).unwrap();
+        let _c = t.attach(data_tx(3, a, b, 3), 3).unwrap();
+        let confirmed = t.confirm_with_threshold(3);
+        assert_eq!(confirmed, vec![a]);
+        assert_eq!(t.status(&a), Some(TxStatus::Confirmed));
+        assert_eq!(t.status(&b), Some(TxStatus::Pending));
+    }
+
+    #[test]
+    fn approves_relation() {
+        let (mut t, g) = with_genesis();
+        let a = t.attach(data_tx(1, g, g, 1), 1).unwrap();
+        let b = t.attach(data_tx(2, a, a, 2), 2).unwrap();
+        assert!(t.approves(&b, &a));
+        assert!(t.approves(&b, &g));
+        assert!(!t.approves(&a, &b));
+        assert!(!t.approves(&a, &a));
+    }
+
+    #[test]
+    fn ancestors_bfs() {
+        let (mut t, g) = with_genesis();
+        let a = t.attach(data_tx(1, g, g, 1), 1).unwrap();
+        let b = t.attach(data_tx(2, a, g, 2), 2).unwrap();
+        let anc = t.ancestors(&b);
+        assert!(anc.contains(&a));
+        assert!(anc.contains(&g));
+        assert_eq!(anc.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_prunes_old_confirmed() {
+        let (mut t, g) = with_genesis();
+        let a = t.attach(data_tx(1, g, g, 1), 1).unwrap();
+        let b = t.attach(data_tx(2, a, a, 2), 2).unwrap();
+        let c = t.attach(data_tx(3, b, b, 3), 3).unwrap();
+        t.confirm_with_threshold(2); // confirms a and b
+        let removed = t.snapshot(3);
+        // genesis and a,b are confirmed and older than 3ms; c is a tip.
+        assert_eq!(removed, 3);
+        assert!(t.is_pruned(&a));
+        assert!(!t.contains(&a));
+        assert!(t.contains(&c));
+        // New transactions can still reference the pruned b as parent.
+        let d = t.attach(data_tx(4, b, c, 4), 4).unwrap();
+        assert!(t.contains(&d));
+        // But a duplicate of a pruned tx is still a duplicate.
+        assert!(matches!(
+            t.attach(data_tx(1, g, g, 1), 9),
+            Err(TangleError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn tips_are_deterministically_ordered() {
+        let (mut t, g) = with_genesis();
+        let mut ids = Vec::new();
+        for i in 1..=5 {
+            ids.push(t.attach(data_tx(i, g, g, i as u64), i as u64).unwrap());
+        }
+        // g is no longer a tip, all five children are.
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(t.tips(), sorted);
+        assert_eq!(t.tip_count(), 5);
+    }
+
+    #[test]
+    fn iter_and_len() {
+        let (mut t, g) = with_genesis();
+        t.attach(data_tx(1, g, g, 1), 1).unwrap();
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(Tangle::new().is_empty());
+    }
+}

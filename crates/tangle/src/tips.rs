@@ -1,0 +1,411 @@
+//! Tip selection strategies.
+//!
+//! Before issuing a transaction, a node must choose two tips to approve
+//! (paper §II-B). The strategy matters for security: uniform random
+//! selection is cheap; the weighted MCMC walk (IOTA's strategy) biases
+//! toward heavy subtangles, which starves lazy tips of approvals.
+
+use crate::graph::Tangle;
+use crate::tx::TxId;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Selects two parents for the next transaction.
+///
+/// Implementations are objects so nodes can be configured with a boxed
+/// strategy at runtime.
+pub trait TipSelector: std::fmt::Debug {
+    /// Returns a (trunk, branch) pair, or `None` when the tangle has no
+    /// selectable tips (e.g. before genesis).
+    ///
+    /// The two tips may coincide when only one tip exists.
+    fn select_tips(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<(TxId, TxId)>;
+}
+
+/// Uniform random selection over the current tip set.
+///
+/// # Examples
+///
+/// ```
+/// use biot_tangle::graph::Tangle;
+/// use biot_tangle::tips::{TipSelector, UniformRandomSelector};
+/// use biot_tangle::tx::NodeId;
+///
+/// let mut tangle = Tangle::new();
+/// let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+/// let mut rng = rand::thread_rng();
+/// let (trunk, branch) = UniformRandomSelector.select_tips(&tangle, &mut rng).unwrap();
+/// assert_eq!((trunk, branch), (g, g));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformRandomSelector;
+
+impl TipSelector for UniformRandomSelector {
+    fn select_tips(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
+        let tips = tangle.tips();
+        match tips.len() {
+            0 => None,
+            1 => Some((tips[0], tips[0])),
+            n => {
+                let i = (rng.next_u64() % n as u64) as usize;
+                let mut j = (rng.next_u64() % (n as u64 - 1)) as usize;
+                if j >= i {
+                    j += 1;
+                }
+                Some((tips[i], tips[j]))
+            }
+        }
+    }
+}
+
+/// Weighted Markov-chain Monte Carlo walk (IOTA's tip selection).
+///
+/// Two independent walkers start at the genesis (or the oldest remaining
+/// transaction after a snapshot) and step from a transaction to one of its
+/// approvers with probability proportional to `exp(-alpha * (W(v) - W(u)))`
+/// where `W` is cumulative weight. A walker stops at a tip.
+///
+/// Larger `alpha` makes the walk greedier toward heavy branches; `alpha = 0`
+/// degenerates to an unweighted random walk.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedMcmcSelector {
+    /// Greediness parameter (typical range 0.001 – 1.0).
+    pub alpha: f64,
+}
+
+impl WeightedMcmcSelector {
+    /// Creates a selector with the given `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative or not finite.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be ≥ 0");
+        Self { alpha }
+    }
+
+    fn walk(
+        &self,
+        tangle: &Tangle,
+        weights: &HashMap<TxId, u64>,
+        start: TxId,
+        rng: &mut dyn RngCore,
+    ) -> TxId {
+        let mut current = start;
+        loop {
+            let approvers = tangle.approvers(&current);
+            if approvers.is_empty() {
+                return current; // reached a tip
+            }
+            let w_cur = *weights.get(&current).unwrap_or(&1) as f64;
+            let probs: Vec<f64> = approvers
+                .iter()
+                .map(|a| {
+                    let w = *weights.get(a).unwrap_or(&1) as f64;
+                    (-self.alpha * (w_cur - w)).exp()
+                })
+                .collect();
+            let total: f64 = probs.iter().sum();
+            let mut target = (rng.next_u64() as f64 / u64::MAX as f64) * total;
+            let mut chosen = approvers[approvers.len() - 1];
+            for (a, p) in approvers.iter().zip(&probs) {
+                if target < *p {
+                    chosen = *a;
+                    break;
+                }
+                target -= p;
+            }
+            current = chosen;
+        }
+    }
+}
+
+impl TipSelector for WeightedMcmcSelector {
+    fn select_tips(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
+        let start = self.oldest_entry(tangle)?;
+        // Precompute weights once per selection for both walks.
+        let weights: HashMap<TxId, u64> = tangle
+            .iter()
+            .map(|tx| {
+                let id = tx.id();
+                (id, tangle.cumulative_weight(&id))
+            })
+            .collect();
+        let a = self.walk(tangle, &weights, start, rng);
+        let b = self.walk(tangle, &weights, start, rng);
+        Some((a, b))
+    }
+}
+
+impl WeightedMcmcSelector {
+    /// Start the walk at the genesis if it survives, otherwise at the
+    /// heaviest remaining transaction.
+    fn oldest_entry(&self, tangle: &Tangle) -> Option<TxId> {
+        if let Some(g) = tangle.genesis() {
+            if tangle.contains(&g) {
+                return Some(g);
+            }
+        }
+        tangle
+            .iter()
+            .map(|tx| tx.id())
+            .max_by_key(|id| tangle.cumulative_weight(id))
+    }
+}
+
+/// A depth-constrained weighted walk: like [`WeightedMcmcSelector`] but
+/// the walkers start from a recent transaction instead of the genesis,
+/// bounding selection cost on a large tangle (IOTA's practical variant).
+///
+/// The start is drawn uniformly from the `window` most recently attached
+/// non-tip transactions; each walker then climbs toward the tips with the
+/// same weighted transition rule.
+#[derive(Debug, Clone, Copy)]
+pub struct DepthConstrainedSelector {
+    /// Walk greediness (see [`WeightedMcmcSelector::alpha`]).
+    pub alpha: f64,
+    /// How many recent transactions are eligible as walk starts.
+    pub window: usize,
+}
+
+impl DepthConstrainedSelector {
+    /// Creates a selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is negative/not finite or `window` is zero.
+    pub fn new(alpha: f64, window: usize) -> Self {
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be ≥ 0");
+        assert!(window > 0, "window must be positive");
+        Self { alpha, window }
+    }
+}
+
+impl TipSelector for DepthConstrainedSelector {
+    fn select_tips(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
+        // Candidates: recent non-tips (tips cannot be walk starts — the
+        // walk would terminate immediately, defeating weighting).
+        let mut recent: Vec<(u64, TxId)> = tangle
+            .iter()
+            .map(|tx| tx.id())
+            .filter(|id| !tangle.approvers(id).is_empty())
+            .map(|id| (tangle.attach_time_ms(&id).unwrap_or(0), id))
+            .collect();
+        if recent.is_empty() {
+            // Degenerate tangle (only tips): fall back to uniform.
+            return UniformRandomSelector.select_tips(tangle, rng);
+        }
+        recent.sort();
+        let window = self.window.min(recent.len());
+        let slice = &recent[recent.len() - window..];
+        let start = slice[(rng.next_u64() % window as u64) as usize].1;
+
+        let inner = WeightedMcmcSelector::new(self.alpha);
+        let weights: HashMap<TxId, u64> = tangle
+            .iter()
+            .map(|tx| {
+                let id = tx.id();
+                (id, tangle.cumulative_weight(&id))
+            })
+            .collect();
+        let a = inner.walk(tangle, &weights, start, rng);
+        let b = inner.walk(tangle, &weights, start, rng);
+        Some((a, b))
+    }
+}
+
+/// Always returns the same fixed pair — the *lazy tips* attack of the
+/// threat model (§III): a malicious node keeps approving a stale pair
+/// instead of fresh tips.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPairSelector {
+    /// The stale pair the attacker keeps verifying.
+    pub pair: (TxId, TxId),
+}
+
+impl TipSelector for FixedPairSelector {
+    fn select_tips(&self, tangle: &Tangle, _rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
+        // Only return the pair while it is still attached (or pruned-known).
+        if tangle.contains(&self.pair.0) || tangle.is_pruned(&self.pair.0) {
+            Some(self.pair)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{NodeId, Payload, TransactionBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grow_chain(tangle: &mut Tangle, from: TxId, n: usize, tag: u8) -> Vec<TxId> {
+        let mut ids = vec![from];
+        for i in 0..n {
+            let tx = TransactionBuilder::new(NodeId([tag; 32]))
+                .parents(*ids.last().unwrap(), *ids.last().unwrap())
+                .payload(Payload::Data(vec![tag, i as u8]))
+                .timestamp_ms(i as u64)
+                .build();
+            ids.push(tangle.attach(tx, i as u64).unwrap());
+        }
+        ids
+    }
+
+    #[test]
+    fn uniform_returns_none_on_empty() {
+        let tangle = Tangle::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(UniformRandomSelector.select_tips(&tangle, &mut rng).is_none());
+    }
+
+    #[test]
+    fn uniform_single_tip_duplicates() {
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            UniformRandomSelector.select_tips(&tangle, &mut rng),
+            Some((g, g))
+        );
+    }
+
+    #[test]
+    fn uniform_two_tips_are_distinct() {
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        for i in 1..=4u8 {
+            let tx = TransactionBuilder::new(NodeId([i; 32]))
+                .parents(g, g)
+                .payload(Payload::Data(vec![i]))
+                .build();
+            tangle.attach(tx, 1).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (a, b) = UniformRandomSelector.select_tips(&tangle, &mut rng).unwrap();
+            assert_ne!(a, b);
+            assert!(tangle.tips().contains(&a));
+            assert!(tangle.tips().contains(&b));
+        }
+    }
+
+    #[test]
+    fn mcmc_walk_reaches_a_tip() {
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        grow_chain(&mut tangle, g, 10, 1);
+        let sel = WeightedMcmcSelector::new(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (a, b) = sel.select_tips(&tangle, &mut rng).unwrap();
+        let tips = tangle.tips();
+        assert!(tips.contains(&a));
+        assert!(tips.contains(&b));
+    }
+
+    #[test]
+    fn mcmc_prefers_heavy_branch() {
+        // Build a fork: one heavy branch (20 txs), one light (1 tx).
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let heavy = grow_chain(&mut tangle, g, 20, 1);
+        let lone = TransactionBuilder::new(NodeId([2; 32]))
+            .parents(g, g)
+            .payload(Payload::Data(b"light".to_vec()))
+            .build();
+        let light_tip = tangle.attach(lone, 1).unwrap();
+        let heavy_tip = *heavy.last().unwrap();
+
+        let sel = WeightedMcmcSelector::new(1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut heavy_hits = 0;
+        for _ in 0..50 {
+            let (a, b) = sel.select_tips(&tangle, &mut rng).unwrap();
+            for t in [a, b] {
+                if t == heavy_tip {
+                    heavy_hits += 1;
+                }
+                assert!(t == heavy_tip || t == light_tip);
+            }
+        }
+        assert!(heavy_hits > 70, "heavy branch hit only {heavy_hits}/100");
+    }
+
+    #[test]
+    fn mcmc_alpha_zero_still_terminates() {
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        grow_chain(&mut tangle, g, 5, 1);
+        let sel = WeightedMcmcSelector::new(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(sel.select_tips(&tangle, &mut rng).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mcmc_negative_alpha_panics() {
+        WeightedMcmcSelector::new(-1.0);
+    }
+
+    #[test]
+    fn fixed_pair_returns_stale_pair() {
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let ids = grow_chain(&mut tangle, g, 5, 1);
+        let stale = (ids[1], ids[2]);
+        let sel = FixedPairSelector { pair: stale };
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(sel.select_tips(&tangle, &mut rng), Some(stale));
+        // Unknown pair yields None.
+        let sel2 = FixedPairSelector {
+            pair: (TxId([9; 32]), TxId([9; 32])),
+        };
+        assert!(sel2.select_tips(&tangle, &mut rng).is_none());
+    }
+
+    #[test]
+    fn depth_constrained_reaches_tips() {
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        grow_chain(&mut tangle, g, 30, 1);
+        let sel = DepthConstrainedSelector::new(0.5, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let (a, b) = sel.select_tips(&tangle, &mut rng).unwrap();
+            assert!(tangle.tips().contains(&a));
+            assert!(tangle.tips().contains(&b));
+        }
+    }
+
+    #[test]
+    fn depth_constrained_on_tiny_tangle_falls_back() {
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let sel = DepthConstrainedSelector::new(0.5, 8);
+        let mut rng = StdRng::seed_from_u64(10);
+        assert_eq!(sel.select_tips(&tangle, &mut rng), Some((g, g)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn depth_constrained_zero_window_panics() {
+        DepthConstrainedSelector::new(0.5, 0);
+    }
+
+    #[test]
+    fn selector_is_object_safe() {
+        let selectors: Vec<Box<dyn TipSelector>> = vec![
+            Box::new(UniformRandomSelector),
+            Box::new(WeightedMcmcSelector::new(0.1)),
+            Box::new(DepthConstrainedSelector::new(0.1, 4)),
+        ];
+        let mut tangle = Tangle::new();
+        tangle.attach_genesis(NodeId([0; 32]), 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for s in &selectors {
+            assert!(s.select_tips(&tangle, &mut rng).is_some());
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Transactions: the unit of the DAG-structured ledger.
+//!
+//! In a tangle (paper §II-B) there are no blocks: every transaction is an
+//! individual vertex that approves exactly two earlier transactions (its
+//! *parents*, called trunk and branch). A transaction's identifier is the
+//! SHA-256 hash of its canonical encoding, so any mutation changes the id
+//! and detaches it from its approvers — the tamper-evidence the paper
+//! relies on.
+
+use biot_crypto::sha256::{sha256, to_hex};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-byte transaction identifier (SHA-256 of the canonical encoding).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TxId(pub [u8; 32]);
+
+impl TxId {
+    /// The all-zero id, reserved for the genesis transaction's parents.
+    pub const GENESIS_PARENT: TxId = TxId([0u8; 32]);
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Short hex form (first 8 bytes) for logs and reports.
+    pub fn short_hex(&self) -> String {
+        to_hex(&self.0[..8])
+    }
+}
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TxId({})", self.short_hex())
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", to_hex(&self.0))
+    }
+}
+
+/// A 32-byte node identifier (public-key fingerprint).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub [u8; 32]);
+
+impl NodeId {
+    /// Short hex form (first 8 bytes) for logs and reports.
+    pub fn short_hex(&self) -> String {
+        to_hex(&self.0[..8])
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.short_hex())
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_hex())
+    }
+}
+
+/// What a transaction carries.
+///
+/// The smart-factory case study needs plain sensor readings (possibly
+/// encrypted), manager control messages, and token spends (the
+/// double-spending threat model).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Payload {
+    /// A sensor reading or other opaque application data.
+    Data(Vec<u8>),
+    /// AES-encrypted sensitive data (ciphertext plus IV), from the data
+    /// authority management method (§IV-C).
+    EncryptedData {
+        /// CBC initialization vector.
+        iv: [u8; 16],
+        /// AES-CBC ciphertext.
+        ciphertext: Vec<u8>,
+    },
+    /// Spend of a token — the conflict unit for double-spend detection.
+    Spend {
+        /// Identifier of the token being spent.
+        token: [u8; 32],
+        /// Recipient of the token.
+        to: NodeId,
+    },
+    /// Manager-signed authorization list update (Eqn 1): the set of device
+    /// public-key fingerprints currently authorized.
+    AuthList {
+        /// Authorized device identities.
+        devices: Vec<NodeId>,
+        /// Signature by the manager's secret key over the device list.
+        signature: Vec<u8>,
+    },
+}
+
+impl Payload {
+    /// Canonical bytes hashed into the transaction id.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Payload::Data(d) => {
+                out.push(0);
+                out.extend_from_slice(d);
+            }
+            Payload::EncryptedData { iv, ciphertext } => {
+                out.push(1);
+                out.extend_from_slice(iv);
+                out.extend_from_slice(ciphertext);
+            }
+            Payload::Spend { token, to } => {
+                out.push(2);
+                out.extend_from_slice(token);
+                out.extend_from_slice(&to.0);
+            }
+            Payload::AuthList { devices, signature } => {
+                out.push(3);
+                for d in devices {
+                    out.extend_from_slice(&d.0);
+                }
+                out.push(0xFF);
+                out.extend_from_slice(signature);
+            }
+        }
+        out
+    }
+
+    /// Approximate serialized size in bytes (for throughput accounting).
+    pub fn len(&self) -> usize {
+        self.canonical_bytes().len()
+    }
+
+    /// Returns true for zero-length data payloads.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Payload::Data(d) if d.is_empty())
+    }
+}
+
+/// A transaction vertex in the tangle.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Issuing node (public-key fingerprint).
+    pub issuer: NodeId,
+    /// First approved parent (trunk).
+    pub trunk: TxId,
+    /// Second approved parent (branch). May equal `trunk` only for lazy /
+    /// degenerate issuers; honest nodes select distinct tips when possible.
+    pub branch: TxId,
+    /// Application payload.
+    pub payload: Payload,
+    /// Issue time in virtual milliseconds.
+    pub timestamp_ms: u64,
+    /// PoW nonce satisfying the issuer's current difficulty (Eqn 6).
+    pub nonce: u64,
+    /// Issuer's signature over [`Transaction::signing_bytes`]; empty in
+    /// unit tests that don't exercise identity.
+    pub signature: Vec<u8>,
+}
+
+impl Transaction {
+    /// Canonical encoding of everything except the nonce and signature —
+    /// the PoW pre-image per Eqn 6 hashes this together with the nonce.
+    pub fn pow_preimage(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.issuer.0);
+        out.extend_from_slice(&self.trunk.0);
+        out.extend_from_slice(&self.branch.0);
+        out.extend_from_slice(&sha256(&self.payload.canonical_bytes()));
+        out.extend_from_slice(&self.timestamp_ms.to_be_bytes());
+        out
+    }
+
+    /// Bytes covered by the issuer's signature (everything except the
+    /// signature itself).
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut out = self.pow_preimage();
+        out.extend_from_slice(&self.nonce.to_be_bytes());
+        out
+    }
+
+    /// Computes the transaction id: SHA-256 over the signed encoding.
+    pub fn id(&self) -> TxId {
+        TxId(sha256(&self.signing_bytes()))
+    }
+
+    /// The two parents as an array `[trunk, branch]`.
+    pub fn parents(&self) -> [TxId; 2] {
+        [self.trunk, self.branch]
+    }
+
+    /// True when this transaction is its own genesis (both parents zero).
+    pub fn is_genesis(&self) -> bool {
+        self.trunk == TxId::GENESIS_PARENT && self.branch == TxId::GENESIS_PARENT
+    }
+}
+
+/// Builder for [`Transaction`] values.
+///
+/// # Examples
+///
+/// ```
+/// use biot_tangle::tx::{NodeId, Payload, TransactionBuilder, TxId};
+///
+/// let tx = TransactionBuilder::new(NodeId([1; 32]))
+///     .parents(TxId([2; 32]), TxId([3; 32]))
+///     .payload(Payload::Data(b"reading".to_vec()))
+///     .timestamp_ms(1000)
+///     .nonce(42)
+///     .build();
+/// assert_eq!(tx.timestamp_ms, 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransactionBuilder {
+    issuer: NodeId,
+    trunk: TxId,
+    branch: TxId,
+    payload: Payload,
+    timestamp_ms: u64,
+    nonce: u64,
+    signature: Vec<u8>,
+}
+
+impl TransactionBuilder {
+    /// Starts a builder for a transaction issued by `issuer`.
+    pub fn new(issuer: NodeId) -> Self {
+        Self {
+            issuer,
+            trunk: TxId::GENESIS_PARENT,
+            branch: TxId::GENESIS_PARENT,
+            payload: Payload::Data(Vec::new()),
+            timestamp_ms: 0,
+            nonce: 0,
+            signature: Vec::new(),
+        }
+    }
+
+    /// Sets the approved parents (trunk, branch).
+    pub fn parents(mut self, trunk: TxId, branch: TxId) -> Self {
+        self.trunk = trunk;
+        self.branch = branch;
+        self
+    }
+
+    /// Sets the payload.
+    pub fn payload(mut self, payload: Payload) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Sets the issue timestamp in virtual milliseconds.
+    pub fn timestamp_ms(mut self, ts: u64) -> Self {
+        self.timestamp_ms = ts;
+        self
+    }
+
+    /// Sets the PoW nonce.
+    pub fn nonce(mut self, nonce: u64) -> Self {
+        self.nonce = nonce;
+        self
+    }
+
+    /// Sets the issuer signature.
+    pub fn signature(mut self, sig: Vec<u8>) -> Self {
+        self.signature = sig;
+        self
+    }
+
+    /// Finishes the transaction.
+    pub fn build(self) -> Transaction {
+        Transaction {
+            issuer: self.issuer,
+            trunk: self.trunk,
+            branch: self.branch,
+            payload: self.payload,
+            timestamp_ms: self.timestamp_ms,
+            nonce: self.nonce,
+            signature: self.signature,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tx() -> Transaction {
+        TransactionBuilder::new(NodeId([1; 32]))
+            .parents(TxId([2; 32]), TxId([3; 32]))
+            .payload(Payload::Data(b"hello".to_vec()))
+            .timestamp_ms(123)
+            .nonce(7)
+            .build()
+    }
+
+    #[test]
+    fn id_is_deterministic() {
+        assert_eq!(sample_tx().id(), sample_tx().id());
+    }
+
+    #[test]
+    fn id_changes_with_every_field() {
+        let base = sample_tx();
+        let mut variants = Vec::new();
+        let mut t = base.clone();
+        t.issuer = NodeId([9; 32]);
+        variants.push(t);
+        let mut t = base.clone();
+        t.trunk = TxId([9; 32]);
+        variants.push(t);
+        let mut t = base.clone();
+        t.branch = TxId([9; 32]);
+        variants.push(t);
+        let mut t = base.clone();
+        t.payload = Payload::Data(b"tampered".to_vec());
+        variants.push(t);
+        let mut t = base.clone();
+        t.timestamp_ms = 124;
+        variants.push(t);
+        let mut t = base.clone();
+        t.nonce = 8;
+        variants.push(t);
+        for v in variants {
+            assert_ne!(v.id(), base.id());
+        }
+    }
+
+    #[test]
+    fn signature_not_part_of_id() {
+        let mut t = sample_tx();
+        let id = t.id();
+        t.signature = vec![1, 2, 3];
+        assert_eq!(t.id(), id, "signature must not affect the id");
+    }
+
+    #[test]
+    fn genesis_detection() {
+        let g = TransactionBuilder::new(NodeId([0; 32])).build();
+        assert!(g.is_genesis());
+        assert!(!sample_tx().is_genesis());
+    }
+
+    #[test]
+    fn payload_canonical_bytes_distinguish_variants() {
+        let a = Payload::Data(vec![1, 2, 3]).canonical_bytes();
+        let b = Payload::Spend {
+            token: [0; 32],
+            to: NodeId([0; 32]),
+        }
+        .canonical_bytes();
+        assert_ne!(a, b);
+        assert_ne!(a[0], b[0], "variant tags differ");
+    }
+
+    #[test]
+    fn payload_len_and_empty() {
+        assert!(Payload::Data(vec![]).is_empty());
+        assert!(!Payload::Data(vec![1]).is_empty());
+        assert_eq!(Payload::Data(vec![1, 2, 3]).len(), 4); // tag + 3
+    }
+
+    #[test]
+    fn display_and_debug_forms() {
+        let id = sample_tx().id();
+        assert_eq!(format!("{id}").len(), 64);
+        assert!(format!("{id:?}").starts_with("TxId("));
+        let n = NodeId([0xAB; 32]);
+        assert_eq!(n.short_hex(), "abababababababab");
+    }
+
+    #[test]
+    fn pow_preimage_excludes_nonce() {
+        let mut t = sample_tx();
+        let pre = t.pow_preimage();
+        t.nonce = 999;
+        assert_eq!(t.pow_preimage(), pre);
+        assert_ne!(t.signing_bytes(), pre);
+    }
+}

@@ -1,0 +1,107 @@
+//! Graphviz (DOT) export of ledger structure — regenerates the paper's
+//! Fig 1 (chain with forks) and Fig 2 (tangle with tips) as diagrams from
+//! live data.
+
+use crate::graph::{Tangle, TxStatus};
+use crate::tx::Payload;
+use std::fmt::Write as _;
+
+/// Renders the tangle as a DOT digraph.
+///
+/// * Tips are grey (the paper's Fig 2 shading), confirmed transactions
+///   are white with a bold border, pending ones plain white.
+/// * Edges point from a transaction to the parents it approves.
+///
+/// # Examples
+///
+/// ```
+/// use biot_tangle::graph::Tangle;
+/// use biot_tangle::tx::NodeId;
+/// use biot_tangle::viz::to_dot;
+///
+/// let mut tangle = Tangle::new();
+/// tangle.attach_genesis(NodeId([0; 32]), 0);
+/// let dot = to_dot(&tangle);
+/// assert!(dot.starts_with("digraph tangle"));
+/// ```
+pub fn to_dot(tangle: &Tangle) -> String {
+    let mut out = String::from("digraph tangle {\n  rankdir=RL;\n  node [shape=box];\n");
+    let tips: std::collections::HashSet<_> = tangle.tips().into_iter().collect();
+    let mut txs: Vec<_> = tangle.iter().collect();
+    txs.sort_by_key(|tx| (tx.timestamp_ms, tx.id()));
+    for tx in &txs {
+        let id = tx.id();
+        let label = format!("{}\\n{}", id.short_hex(), payload_kind(&tx.payload));
+        let style = if tips.contains(&id) {
+            "style=filled, fillcolor=gray80"
+        } else if tangle.status(&id) == Some(TxStatus::Confirmed) {
+            "penwidth=2"
+        } else {
+            "penwidth=1"
+        };
+        let _ = writeln!(out, "  \"{id}\" [label=\"{label}\", {style}];");
+        if !tx.is_genesis() {
+            for parent in tx.parents() {
+                let _ = writeln!(out, "  \"{id}\" -> \"{parent}\";");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn payload_kind(p: &Payload) -> &'static str {
+    match p {
+        Payload::Data(_) => "data",
+        Payload::EncryptedData { .. } => "encrypted",
+        Payload::Spend { .. } => "spend",
+        Payload::AuthList { .. } => "authlist",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::{NodeId, TransactionBuilder};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let tx = TransactionBuilder::new(NodeId([1; 32]))
+            .parents(g, g)
+            .payload(Payload::Data(b"x".to_vec()))
+            .timestamp_ms(1)
+            .build();
+        let id = tangle.attach(tx, 1).unwrap();
+        let dot = to_dot(&tangle);
+        assert!(dot.contains(&format!("\"{g}\"")));
+        assert!(dot.contains(&format!("\"{id}\" -> \"{g}\"")));
+        assert!(dot.contains("gray80"), "the tip is shaded");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_marks_payload_kinds() {
+        let mut tangle = Tangle::new();
+        let g = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let spend = TransactionBuilder::new(NodeId([1; 32]))
+            .parents(g, g)
+            .payload(Payload::Spend {
+                token: [1; 32],
+                to: NodeId([2; 32]),
+            })
+            .build();
+        tangle.attach(spend, 1).unwrap();
+        let dot = to_dot(&tangle);
+        assert!(dot.contains("spend"));
+        assert!(dot.contains("data")); // genesis payload
+    }
+
+    #[test]
+    fn empty_tangle_is_valid_dot() {
+        let dot = to_dot(&Tangle::new());
+        assert!(dot.starts_with("digraph tangle"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests of tangle invariants: whatever random (but
+//! parent-valid) attach sequence is applied, the DAG's structural
+//! invariants must hold.
+
+use biot_tangle::graph::{Tangle, TxStatus};
+use biot_tangle::tx::{NodeId, Payload, TransactionBuilder, TxId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A symbolic attach plan: for each new transaction, two indices into the
+/// already-attached list (modulo its length) and a payload selector.
+#[derive(Clone, Debug)]
+struct Plan {
+    steps: Vec<(usize, usize, u8)>,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    proptest::collection::vec((0usize..1000, 0usize..1000, any::<u8>()), 1..80)
+        .prop_map(|steps| Plan { steps })
+}
+
+/// Materializes a plan into a tangle, returning attached ids in order.
+fn run_plan(plan: &Plan) -> (Tangle, Vec<TxId>) {
+    let mut tangle = Tangle::new();
+    let genesis = tangle.attach_genesis(NodeId([0; 32]), 0);
+    let mut attached = vec![genesis];
+    for (i, (a, b, kind)) in plan.steps.iter().enumerate() {
+        let trunk = attached[a % attached.len()];
+        let branch = attached[b % attached.len()];
+        let payload = if kind % 5 == 0 {
+            // A spend; the token derives from the kind byte so some plans
+            // produce double-spend attempts.
+            let mut token = [0u8; 32];
+            token[0] = kind / 16;
+            Payload::Spend {
+                token,
+                to: NodeId([1; 32]),
+            }
+        } else {
+            Payload::Data(vec![*kind, i as u8])
+        };
+        let tx = TransactionBuilder::new(NodeId([(i % 17) as u8 + 1; 32]))
+            .parents(trunk, branch)
+            .payload(payload)
+            .timestamp_ms(i as u64 + 1)
+            .nonce(i as u64)
+            .build();
+        if let Ok(id) = tangle.attach(tx, i as u64 + 1) {
+            attached.push(id);
+        }
+    }
+    (tangle, attached)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tips are exactly the transactions with no approvers.
+    #[test]
+    fn tips_are_approverless(plan in plan_strategy()) {
+        let (tangle, attached) = run_plan(&plan);
+        let tips: HashSet<TxId> = tangle.tips().into_iter().collect();
+        for id in &attached {
+            let is_tip = tips.contains(id);
+            let approverless = tangle.approvers(id).is_empty();
+            prop_assert_eq!(is_tip, approverless, "tx {:?}", id);
+        }
+    }
+
+    /// Parent links never point forward in attach order (acyclicity).
+    #[test]
+    fn parents_precede_children(plan in plan_strategy()) {
+        let (tangle, attached) = run_plan(&plan);
+        let order: std::collections::HashMap<TxId, usize> = attached
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i))
+            .collect();
+        for id in &attached {
+            let tx = tangle.get(id).unwrap();
+            if tx.is_genesis() {
+                continue;
+            }
+            for parent in tx.parents() {
+                prop_assert!(order[&parent] < order[id]);
+            }
+        }
+    }
+
+    /// The genesis's cumulative weight equals the whole ledger size, and
+    /// every weight is at least 1 and at most the ledger size.
+    #[test]
+    fn weight_bounds(plan in plan_strategy()) {
+        let (tangle, attached) = run_plan(&plan);
+        let n = tangle.len() as u64;
+        let genesis = tangle.genesis().unwrap();
+        prop_assert_eq!(tangle.cumulative_weight(&genesis), n);
+        for id in &attached {
+            let w = tangle.cumulative_weight(id);
+            prop_assert!((1..=n).contains(&w));
+        }
+    }
+
+    /// A child's weight is strictly less than the weight of any of its
+    /// parents plus the ledger bound (monotone along approval edges).
+    #[test]
+    fn weight_monotone_toward_genesis(plan in plan_strategy()) {
+        let (tangle, attached) = run_plan(&plan);
+        for id in &attached {
+            let tx = tangle.get(id).unwrap();
+            if tx.is_genesis() {
+                continue;
+            }
+            let w = tangle.cumulative_weight(id);
+            for parent in tx.parents() {
+                prop_assert!(tangle.cumulative_weight(&parent) > w - 1,
+                    "parent weight must dominate (child counts toward it)");
+                prop_assert!(tangle.cumulative_weight(&parent) >= w,
+                    "every approver of the child also approves the parent");
+            }
+        }
+    }
+
+    /// Each token is spent at most once among attached transactions.
+    #[test]
+    fn at_most_one_spend_per_token(plan in plan_strategy()) {
+        let (tangle, attached) = run_plan(&plan);
+        let mut seen: HashSet<[u8; 32]> = HashSet::new();
+        for id in &attached {
+            if let Payload::Spend { token, .. } = &tangle.get(id).unwrap().payload {
+                prop_assert!(seen.insert(*token), "token spent twice");
+                prop_assert_eq!(tangle.spender_of(token), Some(*id));
+            }
+        }
+    }
+
+    /// Confirmation with threshold t confirms exactly the transactions
+    /// whose cumulative weight is ≥ t.
+    #[test]
+    fn confirmation_matches_weights(plan in plan_strategy(), threshold in 1u64..10) {
+        let (mut tangle, attached) = run_plan(&plan);
+        tangle.confirm_with_threshold(threshold);
+        for id in &attached {
+            let expect = tangle.cumulative_weight(id) >= threshold
+                || Some(*id) == tangle.genesis(); // genesis is born confirmed
+            prop_assert_eq!(
+                tangle.status(id) == Some(TxStatus::Confirmed),
+                expect,
+                "tx {:?} weight {}",
+                id,
+                tangle.cumulative_weight(id)
+            );
+        }
+    }
+
+    /// Snapshot-capture → restore is lossless for any plan.
+    #[test]
+    fn snapshot_roundtrip(plan in plan_strategy()) {
+        let (mut tangle, _) = run_plan(&plan);
+        tangle.confirm_with_threshold(2);
+        let snap = biot_tangle::TangleSnapshot::capture(&tangle);
+        let restored = snap.restore().unwrap();
+        prop_assert_eq!(restored.len(), tangle.len());
+        prop_assert_eq!(restored.tips(), tangle.tips());
+        for tx in tangle.iter() {
+            let id = tx.id();
+            prop_assert_eq!(restored.status(&id), tangle.status(&id));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! DAG vs chain: why B-IoT builds on a tangle (paper §II).
+//!
+//! Drives the same Poisson IoT workload through the DAG ledger and the
+//! satoshi-style baseline and prints effective throughput and latency.
+//!
+//! Run with: `cargo run --release --example dag_vs_chain`
+
+use biot::net::time::SimTime;
+use biot::sim::throughput::{run_chain, run_tangle, ThroughputConfig};
+
+fn main() {
+    println!("offered_tps | tangle_tps chain_tps | tangle_lat chain_lat | chain_waste");
+    println!("------------+---------------------+----------------------+------------");
+    for offered in [5.0, 20.0, 80.0, 320.0] {
+        let cfg = ThroughputConfig {
+            offered_tps: offered,
+            duration: SimTime::from_secs(120),
+            ..ThroughputConfig::default()
+        };
+        let t = run_tangle(&cfg);
+        let c = run_chain(&cfg);
+        println!(
+            "{:>11.0} | {:>10.1} {:>9.1} | {:>9.3}s {:>8.1}s | {:>11}",
+            offered, t.effective_tps, c.effective_tps, t.mean_latency_s, c.mean_latency_s, c.wasted
+        );
+    }
+    println!(
+        "\nThe chain saturates at block_capacity/block_interval (10 tx/s here)\n\
+         and pays seconds of commit latency; the tangle's asynchronous\n\
+         consensus tracks the offered load with millisecond latency —\n\
+         the paper's motivation for a DAG-structured blockchain in IoT."
+    );
+}

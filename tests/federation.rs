@@ -1,0 +1,168 @@
+//! Cross-factory federation: the paper's "break down monolithic data
+//! siloes" story (§IV-A.4). Two factories, each with its own manager and
+//! devices, share one tangle network; each manager controls only its own
+//! authorization list, and sensitive recipes posted by factory A are
+//! readable by factory B exactly when A shares the session key.
+
+use biot::core::access::DataProtector;
+use biot::core::difficulty::InverseProportionalPolicy;
+use biot::core::identity::Account;
+use biot::core::node::{Gateway, GatewayConfig, LightNode, Manager, SubmitError};
+use biot::net::time::SimTime;
+use biot::tangle::tx::Payload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Federation {
+    manager_a: Manager,
+    manager_b: Manager,
+    /// One shared gateway (a public tangle node serving both factories).
+    gateway: Gateway,
+    device_a: LightNode,
+    device_b: LightNode,
+    rng: StdRng,
+}
+
+fn boot_federation(seed: u64) -> Federation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let manager_a = Manager::new(Account::generate(&mut rng));
+    let manager_b = Manager::new(Account::generate(&mut rng));
+    // The gateway pins manager A at genesis; the operator additionally
+    // trusts factory B's manager.
+    let mut gateway = Gateway::new(
+        manager_a.public_key().clone(),
+        Box::new(InverseProportionalPolicy::default()),
+        GatewayConfig::default(),
+    );
+    gateway.trust_manager(manager_b.public_key().clone());
+    let genesis = gateway.init_genesis(SimTime::ZERO);
+
+    let mut manager_a = manager_a;
+    let mut manager_b = manager_b;
+    let device_a = LightNode::new(Account::generate(&mut rng));
+    let device_b = LightNode::new(Account::generate(&mut rng));
+    let id_a = manager_a.register_device(device_a.public_key().clone());
+    manager_a.authorize(id_a);
+    let id_b = manager_b.register_device(device_b.public_key().clone());
+    manager_b.authorize(id_b);
+    gateway.register_pubkey(device_a.public_key().clone());
+    gateway.register_pubkey(device_b.public_key().clone());
+
+    // Each manager publishes its own list.
+    let d = gateway.difficulty_for(manager_a.id(), SimTime::ZERO);
+    let list_a = manager_a.prepare_auth_list((genesis, genesis), SimTime::ZERO, d);
+    gateway.apply_auth_list(list_a.tx, SimTime::ZERO).unwrap();
+    let tips = {
+        let mut r = StdRng::seed_from_u64(seed + 1);
+        gateway.random_tips(&mut r).unwrap()
+    };
+    let d = gateway.difficulty_for(manager_b.id(), SimTime::ZERO);
+    let list_b = manager_b.prepare_auth_list(tips, SimTime::ZERO, d);
+    gateway.apply_auth_list(list_b.tx, SimTime::ZERO).unwrap();
+
+    Federation {
+        manager_a,
+        manager_b,
+        gateway,
+        device_a,
+        device_b,
+        rng,
+    }
+}
+
+#[test]
+fn both_factories_devices_are_admitted() {
+    let mut f = boot_federation(1);
+    let now = SimTime::from_secs(1);
+    for device in [&f.device_a, &f.device_b] {
+        let tips = f.gateway.random_tips(&mut f.rng).unwrap();
+        let d = f.gateway.difficulty_for(device.id(), now);
+        let p = device.prepare_reading(b"hello", tips, now, d, &mut f.rng);
+        f.gateway.submit(p.tx, now).unwrap();
+    }
+    assert_eq!(f.gateway.authz().len(), 2);
+}
+
+#[test]
+fn managers_lists_are_independent() {
+    let mut f = boot_federation(2);
+    let genesis = f.gateway.tangle().genesis().unwrap();
+    // Manager B revokes its device; A's device must stay authorized.
+    f.manager_b.deauthorize(f.device_b.id());
+    let now = SimTime::from_secs(1);
+    let d = f.gateway.difficulty_for(f.manager_b.id(), now);
+    let empty_b = f.manager_b.prepare_auth_list((genesis, genesis), now, d);
+    f.gateway.apply_auth_list(empty_b.tx, now).unwrap();
+
+    assert!(f.gateway.authz().is_authorized(&f.device_a.id()));
+    assert!(!f.gateway.authz().is_authorized(&f.device_b.id()));
+
+    let tips = f.gateway.random_tips(&mut f.rng).unwrap();
+    let d = f.gateway.difficulty_for(f.device_b.id(), now);
+    let p = f.device_b.prepare_reading(b"refused", tips, now, d, &mut f.rng);
+    assert!(matches!(
+        f.gateway.submit(p.tx, now),
+        Err(SubmitError::Unauthorized(_))
+    ));
+}
+
+#[test]
+fn cross_factory_recipe_sharing_with_key() {
+    let mut f = boot_federation(3);
+    // Factory A's device gets a session key from *its* manager, posts an
+    // encrypted recipe.
+    let dev_a = f.device_a.id();
+    let cfg = *f.manager_a.keydist_config();
+    let m1 = f
+        .manager_a
+        .start_key_distribution(dev_a, SimTime::from_millis(10), &mut f.rng);
+    let (mut ds, m2) = biot::core::keydist::DeviceSession::handle_m1(
+        f.device_a.account(),
+        f.manager_a.public_key(),
+        &m1,
+        10,
+        &cfg,
+        &mut f.rng,
+    )
+    .unwrap();
+    let m3 = f
+        .manager_a
+        .handle_m2(dev_a, &m2, SimTime::from_millis(20), &mut f.rng)
+        .unwrap();
+    ds.handle_m3(f.manager_a.public_key(), &m3, 30, &cfg).unwrap();
+    let key = ds.session_key().unwrap().clone();
+    f.device_a.install_session_key(key.clone());
+
+    let now = SimTime::from_secs(1);
+    let tips = f.gateway.random_tips(&mut f.rng).unwrap();
+    let d = f.gateway.difficulty_for(dev_a, now);
+    let p = f
+        .device_a
+        .prepare_reading(b"recipe:speed=1000", tips, now, d, &mut f.rng);
+    let id = f.gateway.submit(p.tx, now).unwrap();
+
+    let payload = &f.gateway.tangle().get(&id).unwrap().payload;
+    assert!(matches!(payload, Payload::EncryptedData { .. }));
+
+    // Factory A shares the key with factory B (off-ledger business deal);
+    // B can now read the recipe. Factory B's *manager* alone cannot.
+    let factory_b_reader = DataProtector::sensitive(key);
+    assert_eq!(factory_b_reader.open(payload).unwrap(), b"recipe:speed=1000");
+    assert!(DataProtector::public().open(payload).is_err());
+    let _ = &f.manager_b; // B's manager has no key: nothing to open with.
+}
+
+#[test]
+fn rogue_manager_still_excluded() {
+    let mut f = boot_federation(4);
+    let genesis = f.gateway.tangle().genesis().unwrap();
+    // A third, untrusted manager tries to authorize its own device.
+    let mut rogue = Manager::new(Account::generate(&mut f.rng));
+    let intruder = LightNode::new(Account::generate(&mut f.rng));
+    let id = rogue.register_device(intruder.public_key().clone());
+    rogue.authorize(id);
+    let now = SimTime::from_secs(1);
+    let list = rogue.prepare_auth_list((genesis, genesis), now, biot::core::Difficulty::INITIAL);
+    assert!(f.gateway.apply_auth_list(list.tx, now).is_err());
+    assert!(!f.gateway.authz().is_authorized(&intruder.id()));
+}

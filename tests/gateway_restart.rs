@@ -1,0 +1,121 @@
+//! Full gateway restart: persist the ledger with `biot-store`, crash,
+//! recover, and rebuild admission state by replaying the on-ledger
+//! authorization lists — then keep serving devices.
+
+use biot::core::difficulty::InverseProportionalPolicy;
+use biot::core::identity::Account;
+use biot::core::node::{Gateway, GatewayConfig, LightNode, Manager, SubmitError};
+use biot::net::time::SimTime;
+use biot::store::LedgerStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let path =
+            std::env::temp_dir().join(format!("biot-restart-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn gateway_survives_restart_with_admission_state() {
+    let dir = TempDir::new("full");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut manager = Manager::new(Account::generate(&mut rng));
+    let authorized = LightNode::new(Account::generate(&mut rng));
+    let revoked = LightNode::new(Account::generate(&mut rng));
+
+    // --- Life before the crash -------------------------------------------
+    let mut store = LedgerStore::open(&dir.0).unwrap();
+    {
+        let mut gateway = Gateway::new(
+            manager.public_key().clone(),
+            Box::new(InverseProportionalPolicy::default()),
+            GatewayConfig::default(),
+        );
+        let genesis = gateway.init_genesis(SimTime::ZERO);
+        store
+            .append(gateway.tangle().get(&genesis).unwrap(), 0)
+            .unwrap();
+        for dev in [&authorized, &revoked] {
+            let id = manager.register_device(dev.public_key().clone());
+            manager.authorize(id);
+            gateway.register_pubkey(dev.public_key().clone());
+        }
+        let d = gateway.difficulty_for(manager.id(), SimTime::ZERO);
+        let list = manager.prepare_auth_list((genesis, genesis), SimTime::ZERO, d);
+        let list_tx = list.tx.clone();
+        gateway.apply_auth_list(list.tx, SimTime::ZERO).unwrap();
+        store.append(&list_tx, 0).unwrap();
+
+        // Both devices post; then the manager revokes one on-ledger.
+        let mut now = SimTime::from_secs(1);
+        for dev in [&authorized, &revoked] {
+            let tips = gateway.random_tips(&mut rng).unwrap();
+            let d = gateway.difficulty_for(dev.id(), now);
+            let p = dev.prepare_reading(b"pre-crash", tips, now, d, &mut rng);
+            let tx = p.tx.clone();
+            gateway.submit(p.tx, now).unwrap();
+            store.append(&tx, now.as_millis()).unwrap();
+            now = now + 1_000;
+        }
+        manager.deauthorize(revoked.id());
+        let tips = gateway.random_tips(&mut rng).unwrap();
+        let d = gateway.difficulty_for(manager.id(), now);
+        let list2 = manager.prepare_auth_list(tips, now, d);
+        let list2_tx = list2.tx.clone();
+        gateway.apply_auth_list(list2.tx, now).unwrap();
+        store.append(&list2_tx, now.as_millis()).unwrap();
+        // gateway dropped here: the crash.
+    }
+
+    // --- Restart -----------------------------------------------------------
+    let recovered = LedgerStore::open(&dir.0)
+        .unwrap()
+        .recover()
+        .unwrap()
+        .expect("ledger on disk");
+    let mut gateway = Gateway::new(
+        manager.public_key().clone(),
+        Box::new(InverseProportionalPolicy::default()),
+        GatewayConfig::default(),
+    );
+    gateway.adopt_tangle(recovered);
+    gateway.register_pubkey(authorized.public_key().clone());
+    gateway.register_pubkey(revoked.public_key().clone());
+
+    // Admission state came back from the ledger: the authorized device
+    // serves, the revoked one is refused.
+    assert!(gateway.authz().is_authorized(&authorized.id()));
+    assert!(!gateway.authz().is_authorized(&revoked.id()));
+
+    let now = SimTime::from_secs(60);
+    let tips = gateway.random_tips(&mut rng).unwrap();
+    let d = gateway.difficulty_for(authorized.id(), now);
+    assert_eq!(
+        d,
+        biot::core::Difficulty::INITIAL,
+        "credit resets to neutral across restart"
+    );
+    let p = authorized.prepare_reading(b"post-crash", tips, now, d, &mut rng);
+    gateway.submit(p.tx, now).unwrap();
+
+    let tips = gateway.random_tips(&mut rng).unwrap();
+    let d = gateway.difficulty_for(revoked.id(), now);
+    let p = revoked.prepare_reading(b"rejected", tips, now, d, &mut rng);
+    assert!(matches!(
+        gateway.submit(p.tx, now),
+        Err(SubmitError::Unauthorized(_))
+    ));
+}
