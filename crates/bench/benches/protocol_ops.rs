@@ -62,7 +62,7 @@ fn bench_gateway_submit(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            now = now + 500;
+            now += 500;
             let tips = gateway.random_tips(&mut rng).unwrap();
             // Honest pipeline: query the credit-based difficulty, mine at
             // it, submit. The first iterations mine at D11; as activity

@@ -1,0 +1,58 @@
+//! Cumulative-weight index benchmarks: the maintained O(1) index vs the
+//! breadth-first recount it replaced, and the confirmation sweep that now
+//! rides on it.
+
+use biot_tangle::graph::Tangle;
+use biot_tangle::tips::{TipSelector, UniformRandomSelector};
+use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a tangle with `n` random-parent transactions.
+fn build_tangle(n: usize, seed: u64) -> Tangle {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tangle = Tangle::new();
+    tangle.attach_genesis(NodeId([0; 32]), 0);
+    for i in 0..n {
+        let (a, b) = UniformRandomSelector
+            .select_tips(&tangle, &mut rng)
+            .unwrap();
+        let tx = TransactionBuilder::new(NodeId([(i % 250) as u8; 32]))
+            .parents(a, b)
+            .payload(Payload::Data((i as u64).to_be_bytes().to_vec()))
+            .timestamp_ms(i as u64)
+            .nonce(i as u64)
+            .build();
+        tangle.attach(tx, i as u64).unwrap();
+    }
+    tangle
+}
+
+fn bench_indexed_vs_recount(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cumulative_weight");
+    for n in [500usize, 2000] {
+        let tangle = build_tangle(n, 5);
+        let genesis = tangle.genesis().unwrap();
+        group.bench_with_input(BenchmarkId::new("indexed", n), &tangle, |b, t| {
+            b.iter(|| black_box(t.cumulative_weight(&genesis)))
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_recount", n), &tangle, |b, t| {
+            b.iter(|| black_box(t.cumulative_weight_recount(&genesis)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_confirm_sweep(c: &mut Criterion) {
+    c.bench_function("confirm_threshold_2k", |b| {
+        let tangle = build_tangle(2000, 6);
+        b.iter(|| {
+            let mut t = tangle.clone();
+            t.confirm_with_threshold(5)
+        })
+    });
+}
+
+criterion_group!(benches, bench_indexed_vs_recount, bench_confirm_sweep);
+criterion_main!(benches);

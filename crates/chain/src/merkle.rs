@@ -106,7 +106,7 @@ pub fn build_proof(leaves: &[[u8; 32]], index: usize) -> Option<MerkleProof> {
     let mut level: Vec<[u8; 32]> = leaves.iter().map(leaf_hash).collect();
     let mut idx = index;
     while level.len() > 1 {
-        let sibling_idx = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+        let sibling_idx = if idx.is_multiple_of(2) { idx + 1 } else { idx - 1 };
         let sibling = *level.get(sibling_idx).unwrap_or(&level[idx]); // odd: self
         steps.push(ProofStep {
             sibling_is_left: idx % 2 == 1,

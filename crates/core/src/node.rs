@@ -16,7 +16,7 @@ use crate::credit::{CreditBreakdown, CreditParams, CreditRegistry, Misbehavior};
 use crate::difficulty::DifficultyPolicy;
 use crate::identity::Account;
 use crate::keydist::{KeyDistConfig, ManagerSession, Message1, Message2, Message3};
-use crate::pow::{solve, verify, Difficulty};
+use crate::pow::{verify, Difficulty, MiningConfig};
 use crate::ratelimit::{RateLimitConfig, RateLimiter};
 use crate::tokens::{TokenError, TokenLedger};
 use biot_crypto::rsa::RsaPublicKey;
@@ -467,6 +467,7 @@ pub struct PreparedTx {
 pub struct LightNode {
     account: Account,
     protector: DataProtector,
+    mining: MiningConfig,
 }
 
 impl fmt::Debug for LightNode {
@@ -474,17 +475,33 @@ impl fmt::Debug for LightNode {
         f.debug_struct("LightNode")
             .field("id", &self.account.id())
             .field("protector", &self.protector)
+            .field("mining", &self.mining)
             .finish()
     }
 }
 
 impl LightNode {
     /// Creates a light node from an account, posting public data.
+    ///
+    /// Mining defaults to the deterministic single-threaded solver; call
+    /// [`set_mining_config`](Self::set_mining_config) to shard the nonce
+    /// search across threads.
     pub fn new(account: Account) -> Self {
         Self {
             account,
             protector: DataProtector::public(),
+            mining: MiningConfig::default(),
         }
+    }
+
+    /// Sets how PoW nonce searches run (thread count).
+    pub fn set_mining_config(&mut self, mining: MiningConfig) {
+        self.mining = mining;
+    }
+
+    /// The current mining configuration.
+    pub fn mining_config(&self) -> MiningConfig {
+        self.mining
     }
 
     /// The node identity.
@@ -572,7 +589,7 @@ impl LightNode {
             .payload(payload)
             .timestamp_ms(now.as_millis())
             .build();
-        let solution = solve(&draft.pow_preimage(), difficulty, 0);
+        let solution = self.mining.solve(&draft.pow_preimage(), difficulty);
         let mut tx = draft;
         tx.nonce = solution.nonce;
         tx.signature = self.account.sign(&tx.signing_bytes());
@@ -592,6 +609,7 @@ pub struct Manager {
     sessions: HashMap<NodeId, ManagerSession>,
     directory: HashMap<NodeId, RsaPublicKey>,
     keydist_config: KeyDistConfig,
+    mining: MiningConfig,
 }
 
 impl fmt::Debug for Manager {
@@ -612,7 +630,13 @@ impl Manager {
             sessions: HashMap::new(),
             directory: HashMap::new(),
             keydist_config: KeyDistConfig::default(),
+            mining: MiningConfig::default(),
         }
+    }
+
+    /// Sets how PoW nonce searches run (thread count).
+    pub fn set_mining_config(&mut self, mining: MiningConfig) {
+        self.mining = mining;
     }
 
     /// The manager's identity.
@@ -665,7 +689,7 @@ impl Manager {
             .payload(payload)
             .timestamp_ms(now.as_millis())
             .build();
-        let solution = solve(&draft.pow_preimage(), difficulty, 0);
+        let solution = self.mining.solve(&draft.pow_preimage(), difficulty);
         let mut tx = draft;
         tx.nonce = solution.nonce;
         tx.signature = self.account.sign(&tx.signing_bytes());
@@ -894,7 +918,7 @@ mod tests {
                 &mut w.rng,
             );
             w.gateway.submit(p.tx, now).unwrap();
-            now = now + 2_000;
+            now += 2_000;
         }
         let d_active = w.gateway.difficulty_for(w.device.id(), now);
         assert!(
@@ -968,7 +992,7 @@ mod tests {
             );
             let id = w.gateway.submit(p.tx, now).unwrap();
             first.get_or_insert(id);
-            now = now + 1_000;
+            now += 1_000;
         }
         let confirmed = w.gateway.refresh(now);
         assert!(!confirmed.is_empty(), "early txs should confirm");

@@ -157,7 +157,7 @@ fn gf_inv(a: u8) -> u8 {
 fn build_sboxes() -> ([u8; 256], [u8; 256]) {
     let mut sbox = [0u8; 256];
     let mut inv = [0u8; 256];
-    for i in 0..256usize {
+    for (i, slot) in sbox.iter_mut().enumerate() {
         let x = gf_inv(i as u8);
         let y = x
             ^ x.rotate_left(1)
@@ -165,7 +165,7 @@ fn build_sboxes() -> ([u8; 256], [u8; 256]) {
             ^ x.rotate_left(3)
             ^ x.rotate_left(4)
             ^ 0x63;
-        sbox[i] = y;
+        *slot = y;
         inv[y as usize] = i as u8;
     }
     (sbox, inv)
@@ -317,7 +317,7 @@ impl Aes {
         ciphertext: &[u8],
         iv: &[u8; BLOCK_LEN],
     ) -> Result<Vec<u8>, AesError> {
-        if ciphertext.is_empty() || ciphertext.len() % BLOCK_LEN != 0 {
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_LEN) {
             return Err(AesError::BadCiphertextLen(ciphertext.len()));
         }
         let mut out = Vec::with_capacity(ciphertext.len());
@@ -384,7 +384,7 @@ impl Aes {
     ///
     /// Same conditions as [`decrypt_cbc`](Self::decrypt_cbc).
     pub fn decrypt_ecb(&self, ciphertext: &[u8]) -> Result<Vec<u8>, AesError> {
-        if ciphertext.is_empty() || ciphertext.len() % BLOCK_LEN != 0 {
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_LEN) {
             return Err(AesError::BadCiphertextLen(ciphertext.len()));
         }
         let mut out = Vec::with_capacity(ciphertext.len());
@@ -461,7 +461,7 @@ pub fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
     let pad = BLOCK_LEN - data.len() % BLOCK_LEN;
     let mut out = Vec::with_capacity(data.len() + pad);
     out.extend_from_slice(data);
-    out.extend(std::iter::repeat(pad as u8).take(pad));
+    out.extend(std::iter::repeat_n(pad as u8, pad));
     out
 }
 

@@ -146,7 +146,7 @@ impl BigUint {
 
     /// Returns true if the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -260,8 +260,8 @@ impl BigUint {
     pub fn random_below<R: rand::Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
         assert!(!bound.is_zero(), "bound must be positive");
         let bits = bound.bits();
-        let limbs = (bits + 63) / 64;
-        let top_mask = if bits % 64 == 0 {
+        let limbs = bits.div_ceil(64);
+        let top_mask = if bits.is_multiple_of(64) {
             u64::MAX
         } else {
             (1u64 << (bits % 64)) - 1
@@ -286,7 +286,7 @@ impl BigUint {
     /// Panics if `bits` is zero.
     pub fn random_bits<R: rand::Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
         assert!(bits > 0, "bits must be positive");
-        let limbs = (bits + 63) / 64;
+        let limbs = bits.div_ceil(64);
         let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
         let top_bits = bits - (limbs - 1) * 64;
         let top_mask = if top_bits == 64 {

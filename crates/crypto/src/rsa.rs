@@ -101,7 +101,7 @@ impl RsaPublicKey {
 
     /// Modulus size in whole bytes.
     pub fn modulus_len(&self) -> usize {
-        (self.n.bits() + 7) / 8
+        self.n.bits().div_ceil(8)
     }
 
     /// SHA-256 fingerprint of the encoded key; used as a node's on-ledger
@@ -329,7 +329,7 @@ fn signature_payload(message: &[u8], k: usize) -> Vec<u8> {
     em.push(0x00);
     em.push(0x01);
     let ps_len = k.saturating_sub(t_len + 3);
-    em.extend(std::iter::repeat(0xFF).take(ps_len));
+    em.extend(std::iter::repeat_n(0xFF, ps_len));
     em.push(0x00);
     em.extend_from_slice(DIGEST_INFO_SHA256);
     em.extend_from_slice(&digest);

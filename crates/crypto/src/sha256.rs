@@ -164,6 +164,51 @@ impl Sha256 {
         out
     }
 
+    /// Captures the hasher's state as a resumable [`Midstate`].
+    ///
+    /// The midstate records the compressed chaining value plus any bytes
+    /// still buffered below a block boundary, so a fixed message prefix
+    /// can be absorbed **once** and then extended with many different
+    /// suffixes — the core trick of midstate proof-of-work mining, where
+    /// the bundle preimage is constant and only the nonce varies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use biot_crypto::sha256::{sha256, Sha256};
+    ///
+    /// let mut prefix = Sha256::new();
+    /// prefix.update(b"fixed preimage ");
+    /// let mid = prefix.midstate();
+    /// for nonce in 0u64..4 {
+    ///     let mut h = Sha256::from_midstate(&mid);
+    ///     h.update(&nonce.to_be_bytes());
+    ///     let mut joined = b"fixed preimage ".to_vec();
+    ///     joined.extend_from_slice(&nonce.to_be_bytes());
+    ///     assert_eq!(h.finalize(), sha256(&joined));
+    /// }
+    /// ```
+    pub fn midstate(&self) -> Midstate {
+        Midstate {
+            state: self.state,
+            len: self.len,
+            buf: self.buf,
+            buf_len: self.buf_len as u8,
+            short: self.short,
+        }
+    }
+
+    /// Resumes hashing from a captured [`Midstate`].
+    pub fn from_midstate(mid: &Midstate) -> Self {
+        Self {
+            state: mid.state,
+            len: mid.len,
+            buf: mid.buf,
+            buf_len: mid.buf_len as usize,
+            short: mid.short,
+        }
+    }
+
     /// Completes a SHA-224 hash and returns the 28-byte digest.
     ///
     /// # Panics
@@ -221,6 +266,23 @@ impl Sha256 {
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
     }
+}
+
+/// A resumable snapshot of a [`Sha256`] hasher's internal state.
+///
+/// Created by [`Sha256::midstate`] and consumed by
+/// [`Sha256::from_midstate`]. `Copy`, so per-trial resumption in a
+/// mining loop costs a register-width memcpy instead of re-compressing
+/// the whole message prefix.
+#[derive(Clone, Copy, Debug)]
+pub struct Midstate {
+    state: [u32; 8],
+    /// Bytes fully compressed so far (multiple of the block length).
+    len: u64,
+    /// Pending bytes below the next block boundary.
+    buf: [u8; BLOCK_LEN],
+    buf_len: u8,
+    short: bool,
 }
 
 /// Computes the SHA-256 digest of `data` in one call.
@@ -305,12 +367,20 @@ pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
 /// ```
 pub fn leading_zero_bits(bytes: &[u8]) -> u32 {
     let mut count = 0;
-    for &b in bytes {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_be_bytes(chunk.try_into().expect("chunk is 8 bytes"));
+        if word == 0 {
+            count += 64;
+        } else {
+            return count + word.leading_zeros();
+        }
+    }
+    for &b in chunks.remainder() {
         if b == 0 {
             count += 8;
         } else {
-            count += b.leading_zeros();
-            break;
+            return count + b.leading_zeros();
         }
     }
     count
@@ -357,7 +427,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 ///
 /// Returns `None` if the string has odd length or contains a non-hex digit.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);
@@ -508,6 +578,64 @@ mod tests {
         assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
         assert!(from_hex("abc").is_none());
         assert!(from_hex("zz").is_none());
+    }
+
+    #[test]
+    fn midstate_resume_matches_oneshot_at_all_split_points() {
+        // Split points straddle the 64-byte block boundary in both the
+        // prefix (buffered vs compressed) and the suffix.
+        let data: Vec<u8> = (0..255u8).cycle().take(200).collect();
+        let expect = sha256(&data);
+        for split in 0..data.len() {
+            let mut prefix = Sha256::new();
+            prefix.update(&data[..split]);
+            let mid = prefix.midstate();
+            let mut resumed = Sha256::from_midstate(&mid);
+            resumed.update(&data[split..]);
+            assert_eq!(resumed.finalize(), expect, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn midstate_is_reusable_many_times() {
+        let mut prefix = Sha256::new();
+        prefix.update(b"bundle preimage: parents, payload, issuer, ts ");
+        let mid = prefix.midstate();
+        for nonce in 0u64..64 {
+            let mut h = Sha256::from_midstate(&mid);
+            h.update(&nonce.to_be_bytes());
+            let mut joined = b"bundle preimage: parents, payload, issuer, ts ".to_vec();
+            joined.extend_from_slice(&nonce.to_be_bytes());
+            assert_eq!(h.finalize(), sha256(&joined), "nonce {nonce}");
+        }
+    }
+
+    #[test]
+    fn midstate_preserves_sha224_mode() {
+        let mut prefix = Sha256::new_224();
+        prefix.update(b"abc");
+        let resumed = Sha256::from_midstate(&prefix.midstate());
+        assert_eq!(
+            hex(&resumed.finalize_224()),
+            "23097d223405d8228642a477bda255b32aadbce4bda0b3f7e36c9da7"
+        );
+    }
+
+    #[test]
+    fn leading_zero_bits_word_scan_edge_cases() {
+        // Empty, all-zero, and a one-bit at every position of a 32-byte
+        // digest-sized buffer (crossing the 8-byte word boundaries).
+        assert_eq!(leading_zero_bits(&[]), 0);
+        assert_eq!(leading_zero_bits(&[0u8; 32]), 256);
+        for bit in 0..256u32 {
+            let mut buf = [0u8; 32];
+            buf[(bit / 8) as usize] = 0x80 >> (bit % 8);
+            assert_eq!(leading_zero_bits(&buf), bit, "bit {bit}");
+        }
+        // Non-multiple-of-8 lengths exercise the remainder path.
+        assert_eq!(leading_zero_bits(&[0x00, 0x1F]), 11);
+        assert_eq!(leading_zero_bits(&[0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01]), 71);
+        assert_eq!(leading_zero_bits(&[0x00, 0x00, 0x00]), 24);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use biot_crypto::aes::{Aes, AesKey};
 use biot_crypto::bignum::BigUint;
 use biot_crypto::kdf::hkdf;
 use biot_crypto::rsa::RsaPrivateKey;
-use biot_crypto::sha256::{hmac_sha256, sha256};
+use biot_crypto::sha256::{hmac_sha256, sha256, Sha256};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -112,6 +112,25 @@ proptest! {
     ) {
         prop_assume!(info1 != info2);
         prop_assert_ne!(hkdf(None, &master, &info1, 32), hkdf(None, &master, &info2, 32));
+    }
+
+    #[test]
+    fn midstate_resume_matches_oneshot(
+        prefix in proptest::collection::vec(any::<u8>(), 0..130),
+        suffix in proptest::collection::vec(any::<u8>(), 0..130),
+    ) {
+        // Snapshot after the prefix, resume with the suffix; lengths straddle
+        // the 64-byte SHA-256 block boundary on both sides of the split.
+        let mut h = Sha256::new();
+        h.update(&prefix);
+        let mid = h.midstate();
+        let mut resumed = Sha256::from_midstate(&mid);
+        resumed.update(&suffix);
+
+        let mut oneshot = Sha256::new();
+        oneshot.update(&prefix);
+        oneshot.update(&suffix);
+        prop_assert_eq!(resumed.finalize(), oneshot.finalize());
     }
 
     #[test]

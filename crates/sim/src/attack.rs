@@ -121,7 +121,7 @@ pub fn lazy_tips_experiment(rounds: usize, seed: u64) -> LazyTipsReport {
     let a = gateway
         .submit(honest.prepare_reading(b"seed a", tips, now, d, &mut rng).tx, now)
         .unwrap();
-    now = now + 1_000;
+    now += 1_000;
     let tips = gateway.random_tips(&mut rng).unwrap();
     let d = gateway.difficulty_for(honest.id(), now);
     let b = gateway
@@ -131,7 +131,7 @@ pub fn lazy_tips_experiment(rounds: usize, seed: u64) -> LazyTipsReport {
 
     let mut report = LazyTipsReport::default();
     for i in 0..rounds {
-        now = now + 5_000;
+        now += 5_000;
         // Honest node: fresh tips.
         let tips = gateway.random_tips(&mut rng).unwrap();
         let d = gateway.difficulty_for(honest.id(), now);
@@ -201,7 +201,7 @@ pub fn double_spend_experiment(n_tokens: usize, seed: u64) -> DoubleSpendReport 
             report.first_spends_accepted += 1;
             tokens.push(token);
         }
-        now = now + 500;
+        now += 500;
     }
     for token in tokens {
         let tips = gateway.random_tips(&mut rng).unwrap();
@@ -219,7 +219,7 @@ pub fn double_spend_experiment(n_tokens: usize, seed: u64) -> DoubleSpendReport 
             }
             Err(_) => report.double_spends_cancelled += 1,
         }
-        now = now + 500;
+        now += 500;
     }
     report.punishments = gateway.credits().misbehavior_count(attacker.id()) as u32;
     report
@@ -278,7 +278,7 @@ pub fn failover_experiment(seed: u64) -> FailoverReport {
             report.before_failure += 1;
             replica.receive_broadcast(p.tx, now).unwrap();
         }
-        now = now + 1_000;
+        now += 1_000;
     }
     // Primary dies. Phase 2: device fails over to the replica.
     drop(primary);
@@ -289,7 +289,7 @@ pub fn failover_experiment(seed: u64) -> FailoverReport {
         if replica.submit(p.tx, now).is_ok() {
             report.after_failure += 1;
         }
-        now = now + 1_000;
+        now += 1_000;
     }
     report.survivor_ledger_len = replica.tangle().len();
     report

@@ -305,11 +305,11 @@ pub fn run_cluster(config: &ClusterConfig) -> ClusterResult {
                 const BATCH: usize = 64;
                 for a in 0..config.n_gateways {
                     let Some(src) = gateways[a].as_ref() else { continue };
-                    for b in 0..config.n_gateways {
+                    for (b, peer) in gateways.iter().enumerate().take(config.n_gateways) {
                         if a == b {
                             continue;
                         }
-                        let Some(dst) = gateways[b].as_ref() else { continue };
+                        let Some(dst) = peer.as_ref() else { continue };
                         let missing: Vec<Transaction> = src
                             .tangle()
                             .iter()

@@ -166,7 +166,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetResult {
         if gateway.submit(prepared.tx, finish).is_ok() {
             accepted[idx] += 1;
         }
-        let jitter = rng.gen_range(0..500);
+        let jitter = rng.gen_range(0..500u64);
         heap.push(Reverse((
             finish.as_millis() + config.think_time_ms + jitter,
             idx,

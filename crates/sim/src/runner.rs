@@ -260,7 +260,7 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
             final_weight: 0,
         });
 
-        now = now + config.think_time_ms;
+        now += config.think_time_ms;
     }
 
     // Fill in final weights (Fig 8's bars).
@@ -328,7 +328,7 @@ fn mine_adaptive(
             return Some((finish, d, pow_secs));
         }
         work -= consumed;
-        t = t + config.reassess_ms;
+        t += config.reassess_ms;
     }
 }
 

@@ -216,7 +216,7 @@ pub fn run_chain(config: &ThroughputConfig) -> ThroughputResult {
                 // previous one races it; one side loses. We model the loss
                 // by discarding this block's transactions.
                 let forked = last_block_at
-                    .map(|t| now.as_millis().saturating_sub(t) < config.propagation_ms as u64)
+                    .map(|t| now.as_millis().saturating_sub(t) < config.propagation_ms)
                     .unwrap_or(false);
                 last_block_at = Some(now.as_millis());
                 let txs = chain.take_mempool(config.block_capacity);

@@ -69,7 +69,7 @@ pub struct WirelessResult {
 
 enum Event {
     Tick { sensor: usize },
-    Deliver { tx: Transaction, sent_at: SimTime },
+    Deliver { tx: Box<Transaction>, sent_at: SimTime },
 }
 
 /// Runs the wireless-floor scenario: the gateway sits at address 0; each
@@ -166,7 +166,7 @@ pub fn run_wireless(config: &WirelessConfig) -> WirelessResult {
                         sensor_addr(sensor),
                         gateway_addr,
                         Event::Deliver {
-                            tx: p.tx,
+                            tx: Box::new(p.tx),
                             sent_at: now,
                         },
                     ) {
@@ -187,7 +187,7 @@ pub fn run_wireless(config: &WirelessConfig) -> WirelessResult {
                 latency_total += latency;
                 delivered += 1;
                 result.max_delivery_ms = result.max_delivery_ms.max(latency);
-                if gateway.submit(tx, now).is_ok() {
+                if gateway.submit(*tx, now).is_ok() {
                     result.accepted += 1;
                 }
             }

@@ -69,6 +69,11 @@ struct Entry {
     /// Monotone attach sequence number (true arrival order).
     seq: u64,
     status: TxStatus,
+    /// Maintained cumulative weight: 1 (own) + distinct stored transactions
+    /// that directly or indirectly approve this one. Updated on attach by
+    /// walking the new transaction's ancestor cone; only ever grows while
+    /// the entry is stored.
+    weight: u64,
 }
 
 /// A DAG-structured ledger (the tangle of paper §II-B).
@@ -131,6 +136,7 @@ impl Tangle {
                 attach_time_ms: now_ms,
                 seq: self.total_attached,
                 status: TxStatus::Confirmed,
+                weight: 1,
             },
         );
         self.tips.insert(id);
@@ -201,11 +207,39 @@ impl Tangle {
                 attach_time_ms: now_ms,
                 seq: self.total_attached,
                 status: TxStatus::Pending,
+                weight: 1,
             },
         );
+        self.bump_ancestor_weights(&parents);
         self.tips.insert(id);
         self.total_attached += 1;
         Ok(id)
+    }
+
+    /// Adds the just-attached transaction to the weight of every distinct
+    /// stored ancestor, walking parent links once with a seen-set (distinct
+    /// approver semantics: a diamond-shaped cone still counts the new
+    /// approver exactly once per ancestor). Pruned parents terminate the
+    /// walk — all stored ancestors of a pruned transaction are pruned in the
+    /// same [`Tangle::snapshot`] call, so nothing stored hides behind them.
+    fn bump_ancestor_weights(&mut self, parents: &[TxId]) {
+        let mut seen: HashSet<TxId> = HashSet::new();
+        let mut queue: VecDeque<TxId> = VecDeque::new();
+        for &p in parents {
+            if p != TxId::GENESIS_PARENT && seen.insert(p) {
+                queue.push_back(p);
+            }
+        }
+        while let Some(cur) = queue.pop_front() {
+            if let Some(entry) = self.entries.get_mut(&cur) {
+                entry.weight += 1;
+                for p in entry.tx.parents() {
+                    if p != TxId::GENESIS_PARENT && seen.insert(p) {
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
     }
 
     /// Returns the current tips in deterministic (id) order.
@@ -272,12 +306,28 @@ impl Tangle {
         self.entries.values().map(|e| &e.tx)
     }
 
-    /// Computes the cumulative weight of `id`: 1 (own weight) plus the
-    /// number of distinct transactions that directly or indirectly approve
-    /// it (paper §II-B: "proportional to the number of validations").
+    /// The cumulative weight of `id`: 1 (own weight) plus the number of
+    /// distinct transactions that directly or indirectly approve it (paper
+    /// §II-B: "proportional to the number of validations").
+    ///
+    /// O(1): reads the weight index maintained by [`Tangle::attach`]. The
+    /// breadth-first recount it replaced survives as
+    /// [`Tangle::cumulative_weight_recount`], the oracle the index is
+    /// checked against.
     ///
     /// Returns 0 for unknown ids.
     pub fn cumulative_weight(&self, id: &TxId) -> u64 {
+        self.entries.get(id).map(|e| e.weight).unwrap_or(0)
+    }
+
+    /// Recounts the cumulative weight of `id` by breadth-first traversal of
+    /// the approver edges — the reference implementation for the O(1) index
+    /// behind [`Tangle::cumulative_weight`]. Kept public (but hidden) so
+    /// benchmarks and randomized tests can compare the two.
+    ///
+    /// Returns 0 for unknown ids.
+    #[doc(hidden)]
+    pub fn cumulative_weight_recount(&self, id: &TxId) -> u64 {
         if !self.entries.contains_key(id) {
             return 0;
         }
@@ -302,20 +352,14 @@ impl Tangle {
     ///
     /// This is the asynchronous analogue of bitcoin's six-block rule the
     /// paper mentions: weight accumulates as later transactions approve.
+    /// A single linear scan over the weight index — no per-transaction
+    /// traversal.
     pub fn confirm_with_threshold(&mut self, threshold: u64) -> Vec<TxId> {
-        let pending: Vec<TxId> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.status == TxStatus::Pending)
-            .map(|(id, _)| *id)
-            .collect();
         let mut confirmed = Vec::new();
-        for id in pending {
-            if self.cumulative_weight(&id) >= threshold {
-                if let Some(entry) = self.entries.get_mut(&id) {
-                    entry.status = TxStatus::Confirmed;
-                    confirmed.push(id);
-                }
+        for (id, entry) in self.entries.iter_mut() {
+            if entry.status == TxStatus::Pending && entry.weight >= threshold {
+                entry.status = TxStatus::Confirmed;
+                confirmed.push(*id);
             }
         }
         confirmed.sort();
@@ -356,12 +400,11 @@ impl Tangle {
         while let Some(cur) = queue.pop_front() {
             if let Some(entry) = self.entries.get(&cur) {
                 for p in entry.tx.parents() {
-                    if p != TxId::GENESIS_PARENT && seen.insert(p) {
-                        if self.entries.contains_key(&p) {
+                    if p != TxId::GENESIS_PARENT && seen.insert(p)
+                        && self.entries.contains_key(&p) {
                             out.push(p);
                             queue.push_back(p);
                         }
-                    }
                 }
             }
         }
@@ -633,5 +676,113 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         assert!(Tangle::new().is_empty());
+    }
+
+    /// Every stored id's indexed weight must equal the BFS recount.
+    fn assert_index_matches_oracle(t: &Tangle) {
+        for tx in t.iter() {
+            let id = tx.id();
+            assert_eq!(
+                t.cumulative_weight(&id),
+                t.cumulative_weight_recount(&id),
+                "weight index diverged from BFS oracle for {id:?}"
+            );
+        }
+    }
+
+    /// Grows a random DAG, checking the index against the oracle as it goes.
+    fn grow_random(t: &mut Tangle, rng: &mut rand::rngs::StdRng, n: usize, t0: u64) {
+        use rand::Rng;
+        for i in 0..n {
+            let tips = t.tips();
+            let a = tips[rng.gen_range(0..tips.len())];
+            // Sometimes approve a random stored entry instead of a second
+            // tip, and sometimes reuse the same parent twice.
+            let b = match rng.gen_range(0..3u32) {
+                0 => a,
+                1 => tips[rng.gen_range(0..tips.len())],
+                _ => {
+                    let all: Vec<TxId> = t.iter().map(|tx| tx.id()).collect();
+                    all[rng.gen_range(0..all.len())]
+                }
+            };
+            let ts = t0 + i as u64 + 1;
+            let tx = TransactionBuilder::new(node((i % 251) as u8))
+                .parents(a, b)
+                .payload(Payload::Data(ts.to_be_bytes().to_vec()))
+                .timestamp_ms(ts)
+                .build();
+            t.attach(tx, ts).unwrap();
+        }
+    }
+
+    #[test]
+    fn weight_index_matches_bfs_oracle_on_random_dags() {
+        use rand::SeedableRng;
+        for seed in 0..8u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let (mut t, g) = with_genesis();
+            grow_random(&mut t, &mut rng, 120, 0);
+            assert_index_matches_oracle(&t);
+            assert_eq!(t.cumulative_weight(&g), t.len() as u64);
+        }
+    }
+
+    #[test]
+    fn weight_index_survives_confirm_and_snapshot_cycles() {
+        use rand::SeedableRng;
+        for seed in 100..106u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let (mut t, _g) = with_genesis();
+            let mut clock = 0u64;
+            for round in 0..4 {
+                grow_random(&mut t, &mut rng, 40, clock);
+                clock += 41;
+                t.confirm_with_threshold(4);
+                assert_index_matches_oracle(&t);
+                if round % 2 == 1 {
+                    t.snapshot(clock.saturating_sub(30));
+                    // Pruning removes whole confirmed cones, so surviving
+                    // weights still equal their stored-descendant counts.
+                    assert_index_matches_oracle(&t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_index_handles_attach_to_pruned_parent() {
+        let (mut t, g) = with_genesis();
+        let a = t.attach(data_tx(1, g, g, 1), 1).unwrap();
+        let b = t.attach(data_tx(2, a, a, 2), 2).unwrap();
+        let c = t.attach(data_tx(3, b, b, 3), 3).unwrap();
+        t.confirm_with_threshold(2); // confirms a and b
+        t.snapshot(3); // prunes g, a, b; c survives as a tip
+        assert!(t.is_pruned(&b));
+        // New child referencing the pruned b: the cone walk stops at b and
+        // must still bump the surviving parent c exactly once.
+        let d = t.attach(data_tx(4, b, c, 4), 4).unwrap();
+        assert_eq!(t.cumulative_weight(&c), 2);
+        assert_eq!(t.cumulative_weight(&d), 1);
+        assert_index_matches_oracle(&t);
+    }
+
+    #[test]
+    fn confirmation_matches_oracle_thresholds() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let (mut t, _g) = with_genesis();
+        grow_random(&mut t, &mut rng, 80, 0);
+        let confirmed = t.confirm_with_threshold(5);
+        for tx in t.iter() {
+            let id = tx.id();
+            let should = t.cumulative_weight_recount(&id) >= 5;
+            if confirmed.contains(&id) {
+                assert!(should, "{id:?} confirmed below threshold");
+            }
+            if should {
+                assert_eq!(t.status(&id), Some(TxStatus::Confirmed));
+            }
+        }
     }
 }

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tx = p.tx.clone();
         gateway.submit(p.tx, now)?;
         store.append(&tx, now.as_millis())?;
-        now = now + 1_000;
+        now += 1_000;
     }
     gateway.refresh(now);
     store.checkpoint(gateway.tangle())?;
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tx = p.tx.clone();
         gateway.submit(p.tx, now)?;
         store.append(&tx, now.as_millis())?;
-        now = now + 1_000;
+        now += 1_000;
     }
     let live_len = gateway.tangle().len();
     println!("live ledger: {live_len} transactions; crashing now…");

@@ -54,7 +54,7 @@ fn main() {
              {} PoW trials -> {id:?}",
             prepared.trials
         );
-        now = now + 2_000;
+        now += 2_000;
     }
 
     // Confirmations accumulate as later transactions approve earlier ones.

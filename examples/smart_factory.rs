@@ -88,9 +88,9 @@ fn main() {
                 );
             }
             posted.push((spec.kind, id));
-            now = now + 500;
+            now += 500;
         }
-        now = now + 5_000;
+        now += 5_000;
     }
     gateway.refresh(now);
     println!(

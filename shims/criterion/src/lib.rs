@@ -1,0 +1,293 @@
+//! Offline, API-compatible subset of `criterion` (vendored shim).
+//!
+//! Provides the measurement surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark runs one warm-up batch, then
+//! `sample_size` timed batches (batch size auto-scaled so a batch takes
+//! ≥ ~1 ms), reporting the mean, minimum, and maximum time per
+//! iteration. Under `cargo test` (no `--bench` argument) each benchmark
+//! executes a single smoke iteration so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Returns true when invoked by `cargo bench` (full measurement) rather
+/// than `cargo test` (smoke mode).
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Throughput annotation for a benchmark (reported, not used in timing).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { repr: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just a parameter (within a named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { repr: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    smoke: bool,
+    /// Mean nanoseconds per iteration from the last `iter` call.
+    last_mean_ns: f64,
+    last_min_ns: f64,
+    last_max_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, smoke: bool) -> Self {
+        Self { sample_size, smoke, last_mean_ns: 0.0, last_min_ns: 0.0, last_max_ns: 0.0 }
+    }
+
+    /// Times `routine`, storing per-iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm up and size batches so one batch costs ≥ ~1 ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut total = Duration::ZERO;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed.as_nanos() as f64 / batch as f64;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            total += elapsed;
+        }
+        self.last_mean_ns = total.as_nanos() as f64 / (self.sample_size as u64 * batch) as f64;
+        self.last_min_ns = min;
+        self.last_max_ns = max;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.smoke {
+        println!("{name}: ok (smoke run)");
+        return;
+    }
+    let mut line = format!(
+        "{name}\n    time:   [{} {} {}]",
+        fmt_ns(b.last_min_ns),
+        fmt_ns(b.last_mean_ns),
+        fmt_ns(b.last_max_ns)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| units as f64 * (1_000_000_000.0 / b.last_mean_ns);
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "\n    thrpt:  {:.2} MiB/s",
+                    per_sec(n) / (1024.0 * 1024.0)
+                ));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("\n    thrpt:  {:.0} elem/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, smoke: !bench_mode() }
+    }
+}
+
+impl Criterion {
+    /// Runs a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.smoke);
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            smoke: self.smoke,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    smoke: bool,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.smoke);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size, self.smoke);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3, false);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(b.last_mean_ns > 0.0);
+        assert!(b.last_min_ns <= b.last_mean_ns && b.last_mean_ns <= b.last_max_ns);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher::new(10, true);
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(14).to_string(), "14");
+        assert_eq!(BenchmarkId::new("solve", 14).to_string(), "solve/14");
+    }
+}

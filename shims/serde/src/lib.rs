@@ -1,0 +1,23 @@
+//! Offline, API-compatible subset of `serde` (vendored shim).
+//!
+//! The workspace only uses serde's *derives* as forward-looking metadata
+//! on plain-old-data types — nothing is serialized through a serde
+//! `Serializer` (wire formats are hand-rolled in `biot-tangle::codec`
+//! and `biot-store`). This shim therefore provides the two marker traits
+//! and derive macros with empty expansions, which is exactly enough for
+//! every `#[derive(Serialize, Deserialize)]` in the tree to compile
+//! without network access.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized.
+///
+/// The shim carries no serializer; the trait exists so bounds and
+/// imports resolve.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Empty-expansion `serde` derive macros (vendored shim).
+//!
+//! `#[derive(Serialize, Deserialize)]` in this workspace is metadata on
+//! plain-old-data types — no code path calls `serialize`/`deserialize`
+//! through serde, so the derives expand to nothing. The `serde` helper
+//! attribute (e.g. `#[serde(skip)]`) is registered so field annotations
+//! parse.
+
+use proc_macro::TokenStream;
+
+/// Derives the `Serialize` marker (empty expansion).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the `Deserialize` marker (empty expansion).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -101,7 +101,7 @@ fn demo() {
         let p = device.prepare_reading(format!("r{i}").as_bytes(), tips, now, diff, &mut rng);
         let txid = gateway.submit(p.tx, now).expect("accepted");
         println!("t={now} {diff} -> {txid:?}");
-        now = now + 2_000;
+        now += 2_000;
     }
     println!(
         "ledger: {} txs, device difficulty now {}",

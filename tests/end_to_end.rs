@@ -65,7 +65,7 @@ fn full_workflow_three_devices() {
                 &mut f.rng,
             );
             f.gateway.submit(p.tx, now).unwrap();
-            now = now + 700;
+            now += 700;
         }
     }
     // genesis + auth list + 12 readings
@@ -106,7 +106,7 @@ fn replicated_gateways_converge() {
         f.gateway.submit(p.tx.clone(), now).unwrap();
         // Gossip to the replica.
         replica.receive_broadcast(p.tx, now).unwrap();
-        now = now + 1_000;
+        now += 1_000;
     }
     assert_eq!(f.gateway.tangle().len(), replica.tangle().len());
     // Every transaction on the primary exists on the replica.
@@ -176,7 +176,7 @@ fn credit_history_survives_across_submissions() {
         let d = f.gateway.difficulty_for(dev.id(), now);
         let p = dev.prepare_reading(format!("{i}").as_bytes(), tips, now, d, &mut f.rng);
         f.gateway.submit(p.tx, now).unwrap();
-        now = now + 1_500;
+        now += 1_500;
     }
     let d_active = f.gateway.difficulty_for(dev.id(), now);
     assert!(d_active < d_start);

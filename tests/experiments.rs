@@ -54,7 +54,7 @@ fn fig8a_attack_trace_shape() {
     assert!(r.samples.iter().any(|s| s.difficulty == 14));
     // A long gap opens (paper: ~37 s) and transactions resume afterwards.
     assert!(r.longest_gap_secs() > 15.0, "gap {}", r.longest_gap_secs());
-    let last_tx = r.outcomes.iter().filter(|o| o.accepted).last().unwrap();
+    let last_tx = r.outcomes.iter().rfind(|o| o.accepted).unwrap();
     assert!(last_tx.submitted_at_secs > 50.0, "recovery happened");
 }
 

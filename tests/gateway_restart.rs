@@ -68,7 +68,7 @@ fn gateway_survives_restart_with_admission_state() {
             let tx = p.tx.clone();
             gateway.submit(p.tx, now).unwrap();
             store.append(&tx, now.as_millis()).unwrap();
-            now = now + 1_000;
+            now += 1_000;
         }
         manager.deauthorize(revoked.id());
         let tips = gateway.random_tips(&mut rng).unwrap();

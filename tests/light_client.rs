@@ -53,7 +53,7 @@ fn sensor_verifies_its_reading_is_approved() {
     // Other traffic approves it over time.
     let mut t = now;
     for i in 0..6 {
-        t = t + 1_000;
+        t += 1_000;
         let tips = w.gateway.random_tips(&mut w.rng).unwrap();
         let d = w.gateway.difficulty_for(w.device.id(), t);
         let p = w
@@ -83,7 +83,7 @@ fn forged_proof_is_rejected_by_the_sensor() {
     let my_tx = w.gateway.submit(p.tx, now).unwrap();
     let mut t = now;
     for i in 0..3 {
-        t = t + 1_000;
+        t += 1_000;
         let tips = w.gateway.random_tips(&mut w.rng).unwrap();
         let d = w.gateway.difficulty_for(w.device.id(), t);
         let p = w
