@@ -28,5 +28,13 @@ fn bench_decrypt(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encrypt, bench_decrypt);
+fn bench_key_schedule(c: &mut Criterion) {
+    // Cipher construction is key expansion only: the S-box tables live in
+    // a process-wide static, not rebuilt per key.
+    c.bench_function("aes256_key_schedule", |b| {
+        b.iter(|| Aes::new(&AesKey::Aes256([0x42; 32])))
+    });
+}
+
+criterion_group!(benches, bench_encrypt, bench_decrypt, bench_key_schedule);
 criterion_main!(benches);

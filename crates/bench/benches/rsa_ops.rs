@@ -1,0 +1,43 @@
+//! Microbenchmarks isolating the Montgomery exponentiation path behind
+//! every RSA operation: the naive square-and-multiply oracle vs the
+//! dispatched `BigUint::modpow` vs a pre-built `MontgomeryCtx` (context
+//! reuse, as the cached-key path in `biot_crypto::rsa` does).
+
+use biot_crypto::bignum::{BigUint, MontgomeryCtx};
+use biot_crypto::rsa::RsaPrivateKey;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_modpow_512(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let sk = RsaPrivateKey::generate(512, &mut rng);
+    let n = sk.public().modulus().clone();
+    let d = sk.private_exponent().clone();
+    let m = BigUint::from_bytes_be(&[0xA5u8; 64]).rem(&n);
+
+    let mut group = c.benchmark_group("modpow512_private_exponent");
+    group.sample_size(10);
+    group.bench_function("naive", |b| b.iter(|| m.modpow_naive(&d, &n)));
+    group.bench_function("montgomery_dispatch", |b| b.iter(|| m.modpow(&d, &n)));
+    let ctx = MontgomeryCtx::new(n.clone()).expect("RSA modulus is odd");
+    group.bench_function("montgomery_prebuilt_ctx", |b| {
+        b.iter(|| ctx.modpow(&m, &d))
+    });
+    group.finish();
+}
+
+fn bench_private_ops(c: &mut Criterion) {
+    // `sign` uses the cached per-factor Montgomery contexts plus CRT; the
+    // first call pays the one-off context build, later calls reuse it.
+    let mut rng = StdRng::seed_from_u64(12);
+    let sk = RsaPrivateKey::generate(512, &mut rng);
+    let sig = sk.sign(b"reading");
+    c.bench_function("rsa512_sign_cached_ctx", |b| b.iter(|| sk.sign(b"reading")));
+    c.bench_function("rsa512_verify_cached_ctx", |b| {
+        b.iter(|| sk.public().verify(b"reading", &sig))
+    });
+}
+
+criterion_group!(benches, bench_modpow_512, bench_private_ops);
+criterion_main!(benches);

@@ -77,7 +77,7 @@ pub mod tokens;
 pub use credit::{CreditParams, CreditRegistry, Misbehavior};
 pub use difficulty::{DifficultyPolicy, FixedPolicy, InverseProportionalPolicy, LinearPolicy};
 pub use identity::Account;
-pub use node::{Gateway, GatewayConfig, LightNode, Manager, PreparedTx, SubmitError};
+pub use node::{Gateway, GatewayConfig, LightNode, Manager, PreparedTx, SubmitError, VerifyConfig};
 pub use pow::Difficulty;
 pub use ratelimit::{RateLimitConfig, RateLimiter};
 pub use tokens::{TokenError, TokenLedger};

@@ -16,10 +16,11 @@ use crate::credit::{CreditBreakdown, CreditParams, CreditRegistry, Misbehavior};
 use crate::difficulty::DifficultyPolicy;
 use crate::identity::Account;
 use crate::keydist::{KeyDistConfig, ManagerSession, Message1, Message2, Message3};
-use crate::pow::{verify, Difficulty, MiningConfig};
+use crate::pow::{pow_hash, verify, Difficulty, MiningConfig};
 use crate::ratelimit::{RateLimitConfig, RateLimiter};
 use crate::tokens::{TokenError, TokenLedger};
 use biot_crypto::rsa::RsaPublicKey;
+use biot_crypto::sha256::leading_zero_bits;
 use biot_net::time::SimTime;
 use biot_tangle::conflict::{LazyTipPolicy, LazyVerdict};
 use biot_tangle::graph::{Tangle, TangleError};
@@ -27,7 +28,7 @@ use biot_tangle::tips::{TipSelector, UniformRandomSelector};
 use biot_tangle::tx::{NodeId, Payload, Transaction, TransactionBuilder, TxId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Why a gateway refused a submission.
@@ -122,6 +123,48 @@ pub struct GatewayStats {
     pub gossip_received: u64,
 }
 
+/// How many threads [`Gateway::submit_batch`] uses for the pure admission
+/// checks (signature + PoW), mirroring [`MiningConfig`] for mining.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifyConfig {
+    /// Worker threads for batch signature/PoW verification. `0` or `1`
+    /// checks serially on the calling thread.
+    pub threads: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        // Deterministic by default, like MiningConfig: simulations opt
+        // into parallelism explicitly.
+        Self { threads: 1 }
+    }
+}
+
+impl VerifyConfig {
+    /// A config using every available CPU (as reported by the OS).
+    pub fn all_cores() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { threads }
+    }
+}
+
+/// The pure (state-independent) part of admission, computed per
+/// transaction — off-thread for batches. Stateful gates (authorization,
+/// rate limit, difficulty, tokens, attach) stay serial.
+#[derive(Clone, Copy, Debug)]
+struct AdmissionCheck {
+    /// Signature verdict: `None` when verification is disabled or the
+    /// issuer's key is unknown (both pass, as in sequential submit).
+    sig_ok: Option<bool>,
+    /// Leading zero bits of the PoW digest. The *required* difficulty is
+    /// re-read serially at attach time (credit evolves mid-batch), so
+    /// storing the achieved zeros keeps batch admission bit-identical to
+    /// sequential submits.
+    pow_zeros: u32,
+}
+
 /// A full node: tangle replica, admission control, credit bookkeeping.
 pub struct Gateway {
     tangle: Tangle,
@@ -131,10 +174,13 @@ pub struct Gateway {
     config: GatewayConfig,
     /// Known device public keys (registered when authorized).
     directory: HashMap<NodeId, RsaPublicKey>,
-    manager_ids: HashSet<NodeId>,
+    /// Trusted manager keys indexed by fingerprint id, so the per-submit
+    /// manager lookup is a hash probe instead of re-hashing every key.
+    manager_keys: HashMap<NodeId, RsaPublicKey>,
     limiter: Option<RateLimiter>,
     /// Optional token-ownership enforcement (off unless enabled).
     tokens: Option<TokenLedger>,
+    verify: VerifyConfig,
     stats: GatewayStats,
 }
 
@@ -160,15 +206,26 @@ impl Gateway {
         Self {
             tangle: Tangle::new(),
             credits: CreditRegistry::new(config.credit_params),
-            authz: AuthRegistry::new(manager_pk),
+            authz: AuthRegistry::new(manager_pk.clone()),
             policy,
             config,
             directory: HashMap::new(),
-            manager_ids: HashSet::from([manager_id]),
+            manager_keys: HashMap::from([(manager_id, manager_pk)]),
             limiter,
             tokens: None,
+            verify: VerifyConfig::default(),
             stats: GatewayStats::default(),
         }
+    }
+
+    /// Sets how batch admission checks run (thread count).
+    pub fn set_verify_config(&mut self, verify: VerifyConfig) {
+        self.verify = verify;
+    }
+
+    /// The current batch-verification configuration.
+    pub fn verify_config(&self) -> VerifyConfig {
+        self.verify
     }
 
     /// Turns on token-ownership enforcement: spends are refused unless the
@@ -199,7 +256,8 @@ impl Gateway {
     /// Trusts an additional manager (the paper permits several per
     /// factory, §IV-A). Operator action only — never triggered on-ledger.
     pub fn trust_manager(&mut self, pk: RsaPublicKey) {
-        self.manager_ids.insert(crate::identity::node_id_of(&pk));
+        self.manager_keys
+            .insert(crate::identity::node_id_of(&pk), pk.clone());
         self.authz.trust_manager(pk);
     }
 
@@ -286,8 +344,83 @@ impl Gateway {
     ///
     /// See [`SubmitError`].
     pub fn submit(&mut self, tx: Transaction, now: SimTime) -> Result<TxId, SubmitError> {
+        self.submit_inner(tx, now, None)
+    }
+
+    /// Processes a batch of submissions, running the pure admission checks
+    /// (signature + PoW hashing) across [`VerifyConfig`] worker threads
+    /// before attaching serially in order.
+    ///
+    /// Outcomes are **bit-identical** to calling [`submit`](Self::submit)
+    /// on each transaction in sequence, whatever the thread count: the
+    /// parallel phase only computes order-independent facts (signature
+    /// verdict, achieved PoW zero bits), while every stateful gate —
+    /// authorization, rate limiting, the credit-driven difficulty bar,
+    /// token ownership, attach, credit bookkeeping — replays serially.
+    pub fn submit_batch(
+        &mut self,
+        txs: Vec<Transaction>,
+        now: SimTime,
+    ) -> Vec<Result<TxId, SubmitError>> {
+        let threads = self.verify.threads.max(1).min(txs.len().max(1));
+        let checks: Vec<AdmissionCheck> = if threads <= 1 {
+            txs.iter().map(|tx| self.admission_check(tx)).collect()
+        } else {
+            let this: &Gateway = &*self;
+            let mut slots: Vec<Option<AdmissionCheck>> = vec![None; txs.len()];
+            let chunk = txs.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (tx_chunk, slot_chunk) in txs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        for (tx, slot) in tx_chunk.iter().zip(slot_chunk.iter_mut()) {
+                            *slot = Some(this.admission_check(tx));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|c| c.expect("every chunk worker fills its slots"))
+                .collect()
+        };
+        txs.into_iter()
+            .zip(checks)
+            .map(|(tx, check)| self.submit_inner(tx, now, Some(check)))
+            .collect()
+    }
+
+    /// The issuer's registered key, if any (managers and devices live in
+    /// separate maps so a device cannot shadow a manager id).
+    fn key_of(&self, issuer: &NodeId, is_manager: bool) -> Option<&RsaPublicKey> {
+        if is_manager {
+            self.manager_keys.get(issuer)
+        } else {
+            self.directory.get(issuer)
+        }
+    }
+
+    /// Computes the pure admission facts for one transaction. Safe to run
+    /// concurrently with other reads: touches only immutable gateway state.
+    fn admission_check(&self, tx: &Transaction) -> AdmissionCheck {
+        let is_manager = self.manager_keys.contains_key(&tx.issuer);
+        let sig_ok = if self.config.verify_signatures {
+            self.key_of(&tx.issuer, is_manager)
+                .map(|pk| pk.verify(&tx.signing_bytes(), &tx.signature))
+        } else {
+            None
+        };
+        let pow_zeros = leading_zero_bits(&pow_hash(&tx.pow_preimage(), tx.nonce));
+        AdmissionCheck { sig_ok, pow_zeros }
+    }
+
+    fn submit_inner(
+        &mut self,
+        tx: Transaction,
+        now: SimTime,
+        precheck: Option<AdmissionCheck>,
+    ) -> Result<TxId, SubmitError> {
         let issuer = tx.issuer;
-        let is_manager = self.manager_ids.contains(&issuer);
+        let is_manager = self.manager_keys.contains_key(&issuer);
         // 1. Admission: managers are implicitly trusted; devices must be on
         //    the authorization list (defeats Sybil/DDoS, §VI-C).
         if !is_manager && !self.authz.is_authorized(&issuer) {
@@ -304,26 +437,22 @@ impl Gateway {
                 }
             }
         }
+        // Reuse the batch precheck when present; otherwise compute it now
+        // — after the cheap gates, so rate-limited floods never cost a
+        // signature verification.
+        let check = match precheck {
+            Some(c) => c,
+            None => self.admission_check(&tx),
+        };
         // 2. Signature, when the issuer's key is known.
-        if self.config.verify_signatures {
-            let pk = if is_manager {
-                self.authz
-                    .manager_pks()
-                    .iter()
-                    .find(|pk| crate::identity::node_id_of(pk) == issuer)
-            } else {
-                self.directory.get(&issuer)
-            };
-            if let Some(pk) = pk {
-                if !pk.verify(&tx.signing_bytes(), &tx.signature) {
-                    self.stats.rejected_bad_signature += 1;
-                    return Err(SubmitError::BadSignature(issuer));
-                }
-            }
+        if check.sig_ok == Some(false) {
+            self.stats.rejected_bad_signature += 1;
+            return Err(SubmitError::BadSignature(issuer));
         }
-        // 3. Credit-based PoW check.
+        // 3. Credit-based PoW check, against the difficulty the issuer's
+        //    credit demands *right now*.
         let required = self.difficulty_for(issuer, now);
-        if !verify(&tx.pow_preimage(), tx.nonce, required) {
+        if check.pow_zeros < required.bits() {
             self.stats.rejected_insufficient_pow += 1;
             return Err(SubmitError::InsufficientPow { required });
         }
@@ -1195,6 +1324,115 @@ mod tests {
         let stats = w.gateway.stats();
         assert_eq!(stats.accepted, 2);
         assert_eq!(stats.rejected_unauthorized, 1);
+    }
+
+    /// Builds one world and a mixed batch of transactions against its
+    /// post-boot ledger: honest readings, a forged signature, an
+    /// unauthorized stranger, and a valid signature over insufficient PoW.
+    /// Worlds built from the same seed are bit-identical (seeded rng), so
+    /// the batch is valid against any same-seed world.
+    fn mixed_batch(w: &mut World, now: SimTime) -> Vec<Transaction> {
+        let mut txs = Vec::new();
+        for i in 0..4 {
+            let tips = w.gateway.random_tips(&mut w.rng).unwrap();
+            let d = w.gateway.difficulty_for(w.device.id(), now);
+            let p = w
+                .device
+                .prepare_reading(format!("r{i}").as_bytes(), tips, now, d, &mut w.rng);
+            txs.push(p.tx);
+        }
+        // Forged signature on an otherwise valid transaction.
+        let mut forged = txs[1].clone();
+        forged.payload = Payload::Data(b"forged".to_vec());
+        forged.signature = vec![0u8; forged.signature.len()];
+        txs.push(forged);
+        // Unauthorized stranger with honest work.
+        let stranger = LightNode::new(Account::generate(&mut w.rng));
+        let tips = w.gateway.random_tips(&mut w.rng).unwrap();
+        let p = stranger.prepare_reading(b"no", tips, now, Difficulty::INITIAL, &mut w.rng);
+        txs.push(p.tx);
+        // Valid signature, botched nonce: almost surely under D11 (and if
+        // the wrecked nonce accidentally clears the bar, it does so in
+        // every same-seed world, so equivalence still holds).
+        let tips = w.gateway.random_tips(&mut w.rng).unwrap();
+        let d = w.gateway.difficulty_for(w.device.id(), now);
+        let p = w.device.prepare_reading(b"weak", tips, now, d, &mut w.rng);
+        let mut weak = p.tx;
+        weak.nonce = weak.nonce.wrapping_add(1);
+        weak.signature = w.device.account().sign(&weak.signing_bytes());
+        txs.push(weak);
+        txs
+    }
+
+    #[test]
+    fn batch_submit_matches_sequential_exactly() {
+        let build = || {
+            let mut w = world(40);
+            boot(&mut w);
+            w
+        };
+        let mut seq_world = build();
+        let mut batch_world = build();
+        batch_world
+            .gateway
+            .set_verify_config(VerifyConfig { threads: 4 });
+        let now = t(1);
+        let txs = mixed_batch(&mut seq_world, now);
+
+        let sequential: Vec<_> = txs
+            .iter()
+            .cloned()
+            .map(|tx| seq_world.gateway.submit(tx, now))
+            .collect();
+        let batched = batch_world.gateway.submit_batch(txs, now);
+
+        assert_eq!(sequential, batched);
+        assert_eq!(seq_world.gateway.stats(), batch_world.gateway.stats());
+        assert_eq!(
+            seq_world.gateway.tangle().len(),
+            batch_world.gateway.tangle().len()
+        );
+        // The mixed batch exercised every admission outcome. (Credit can
+        // evolve mid-batch — e.g. a lazy-tip punishment raising the bar
+        // for a later reading — which is exactly what the serial attach
+        // phase must reproduce, so only lower bounds are asserted for the
+        // credit-dependent outcomes.)
+        let stats = batch_world.gateway.stats();
+        assert!(stats.accepted >= 3, "auth list + readings: {stats:?}");
+        assert_eq!(stats.rejected_bad_signature, 1);
+        assert_eq!(stats.rejected_unauthorized, 1);
+        assert!(stats.rejected_insufficient_pow >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn batch_submit_single_thread_matches_too() {
+        let build = || {
+            let mut w = world(41);
+            boot(&mut w);
+            w
+        };
+        let mut seq_world = build();
+        let mut batch_world = build();
+        assert_eq!(batch_world.gateway.verify_config(), VerifyConfig::default());
+        let now = t(2);
+        let txs = mixed_batch(&mut seq_world, now);
+        let sequential: Vec<_> = txs
+            .iter()
+            .cloned()
+            .map(|tx| seq_world.gateway.submit(tx, now))
+            .collect();
+        let batched = batch_world.gateway.submit_batch(txs, now);
+        assert_eq!(sequential, batched);
+        assert_eq!(seq_world.gateway.stats(), batch_world.gateway.stats());
+    }
+
+    #[test]
+    fn batch_submit_empty_is_noop() {
+        let mut w = world(42);
+        boot(&mut w);
+        let before = w.gateway.stats();
+        assert!(w.gateway.submit_batch(Vec::new(), t(1)).is_empty());
+        assert_eq!(w.gateway.stats(), before);
     }
 
     #[test]

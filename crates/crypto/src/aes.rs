@@ -171,6 +171,15 @@ fn build_sboxes() -> ([u8; 256], [u8; 256]) {
     (sbox, inv)
 }
 
+/// The process-wide (forward, inverse) S-box pair, built once on first use.
+/// The tables are key-independent, so rebuilding 512 bytes of GF(2⁸)
+/// inversions per [`Aes::new`] was pure waste — session-key rotation in the
+/// B-IoT handshake constructs ciphers frequently.
+fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
+    static SBOXES: std::sync::OnceLock<([u8; 256], [u8; 256])> = std::sync::OnceLock::new();
+    SBOXES.get_or_init(build_sboxes)
+}
+
 // --- Cipher ----------------------------------------------------------------
 
 /// An AES cipher instance with a fully expanded key schedule.
@@ -181,8 +190,8 @@ fn build_sboxes() -> ([u8; 256], [u8; 256]) {
 #[derive(Clone)]
 pub struct Aes {
     round_keys: Vec<[u8; BLOCK_LEN]>,
-    sbox: [u8; 256],
-    inv_sbox: [u8; 256],
+    sbox: &'static [u8; 256],
+    inv_sbox: &'static [u8; 256],
     rounds: usize,
 }
 
@@ -195,7 +204,7 @@ impl fmt::Debug for Aes {
 impl Aes {
     /// Expands `key` into the round-key schedule and returns a ready cipher.
     pub fn new(key: &AesKey) -> Self {
-        let (sbox, inv_sbox) = build_sboxes();
+        let (sbox, inv_sbox) = sboxes();
         let rounds = key.rounds();
         let nk = key.as_bytes().len() / 4;
         let total_words = 4 * (rounds + 1);

@@ -20,8 +20,10 @@
 
 mod div;
 mod modular;
+mod montgomery;
 mod prime;
 
+pub use montgomery::{MontElem, MontgomeryCtx};
 pub use prime::{gen_prime, is_probable_prime};
 
 use std::cmp::Ordering;
@@ -233,13 +235,29 @@ impl BigUint {
         self.div_rem(modulus).1
     }
 
-    /// Computes `self^exp mod modulus` by square-and-multiply.
+    /// Computes `self^exp mod modulus`.
+    ///
+    /// Odd moduli take the Montgomery fast path ([`MontgomeryCtx`]); even
+    /// moduli fall back to [`modpow_naive`](Self::modpow_naive). Callers
+    /// doing repeated exponentiations under one odd modulus should build a
+    /// [`MontgomeryCtx`] once and reuse it.
     ///
     /// # Panics
     ///
     /// Panics if `modulus` is zero.
     pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
         modular::modpow(self, exp, modulus)
+    }
+
+    /// Computes `self^exp mod modulus` by plain square-and-multiply with a
+    /// full division per step — the correctness oracle for the Montgomery
+    /// path. Prefer [`modpow`](Self::modpow) everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow_naive(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        modular::modpow_naive(self, exp, modulus)
     }
 
     /// Computes the greatest common divisor.

@@ -1,13 +1,31 @@
 //! Modular arithmetic: exponentiation, GCD, and modular inverse.
 
+use super::montgomery::MontgomeryCtx;
 use super::BigUint;
 
-/// Computes `base^exp mod modulus` with left-to-right square-and-multiply.
+/// Computes `base^exp mod modulus`, dispatching odd moduli to the
+/// Montgomery fast path and everything else to the naive oracle.
 ///
 /// # Panics
 ///
 /// Panics if `modulus` is zero.
 pub(super) fn modpow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+    assert!(!modulus.is_zero(), "modpow with zero modulus");
+    match MontgomeryCtx::new(modulus.clone()) {
+        Some(ctx) => ctx.modpow(base, exp),
+        None => modpow_naive(base, exp, modulus),
+    }
+}
+
+/// Computes `base^exp mod modulus` with left-to-right square-and-multiply
+/// — a full division per multiply. Kept as the correctness oracle the
+/// Montgomery property tests compare against, and as the fallback for
+/// even moduli (where Montgomery reduction is undefined).
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+pub(super) fn modpow_naive(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
     assert!(!modulus.is_zero(), "modpow with zero modulus");
     if modulus.is_one() {
         return BigUint::zero();

@@ -1,0 +1,378 @@
+//! Montgomery-form modular arithmetic (CIOS) for odd moduli.
+//!
+//! The naive [`modpow`](super::BigUint::modpow) pays a full Knuth
+//! Algorithm-D division after *every* multiply. Montgomery multiplication
+//! replaces that division with limb-wise reductions against a precomputed
+//! constant: a [`MontgomeryCtx`] derives `n' = -n⁻¹ mod 2⁶⁴` and
+//! `R² mod n` (with `R = 2⁶⁴ˢ` for an `s`-limb modulus) once per modulus,
+//! and every subsequent product costs one CIOS pass — two schoolbook-sized
+//! limb loops, no quotient estimation, no normalization shifts.
+//!
+//! Exponentiation uses a fixed 4-bit window: one squaring per exponent bit
+//! plus at most one table multiply per four bits, against the naive
+//! square-and-multiply's expected one multiply per two bits — and each of
+//! those operations is itself division-free.
+//!
+//! Every protocol step of B-IoT funnels through RSA (signed transactions,
+//! the Eqn 1 authorization list, the Fig 4 handshake), so this layer is
+//! the difference between admission keeping up with the workload
+//! generators or not. The naive path survives as
+//! [`modpow_naive`](super::BigUint::modpow_naive), the correctness oracle
+//! the property tests compare against exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use biot_crypto::bignum::{BigUint, MontgomeryCtx};
+//!
+//! let n = BigUint::from_u64(1_000_003); // odd modulus
+//! let ctx = MontgomeryCtx::new(n).expect("odd modulus > 1");
+//! let r = ctx.modpow(&BigUint::from_u64(2), &BigUint::from_u64(20));
+//! assert_eq!(r, BigUint::from_u64(1 << 20).rem(ctx.modulus()));
+//! ```
+
+use super::BigUint;
+
+/// Exponent window width in bits (table of `2⁴` powers).
+const WINDOW_BITS: usize = 4;
+
+/// A residue in Montgomery form: exactly `s` little-endian limbs holding
+/// `x·R mod n`. Only meaningful with the [`MontgomeryCtx`] that produced
+/// it; mixing contexts is a logic error the type does not police.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontElem {
+    limbs: Vec<u64>,
+}
+
+/// Precomputed per-modulus state for Montgomery arithmetic.
+///
+/// Valid for any odd modulus `n > 1`. Construction costs one big division
+/// (for `R² mod n`); every [`mul`](Self::mul) afterwards is division-free.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    /// The modulus as a `BigUint` (for `rem` on conversion).
+    n: BigUint,
+    /// The modulus padded to exactly `s` limbs.
+    n_limbs: Vec<u64>,
+    /// `-n⁻¹ mod 2⁶⁴` — the per-limb reduction constant.
+    n0_inv: u64,
+    /// `R² mod n`, the conversion multiplier, padded to `s` limbs.
+    r2: Vec<u64>,
+    /// `R mod n` — the Montgomery form of 1.
+    one: MontElem,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for `modulus`, or `None` when the modulus is even
+    /// or ≤ 1 (Montgomery reduction requires `gcd(n, 2⁶⁴) = 1`).
+    pub fn new(modulus: BigUint) -> Option<Self> {
+        if modulus.is_even() || modulus.is_one() {
+            return None;
+        }
+        let s = modulus.limbs().len();
+        let mut n_limbs = modulus.limbs().to_vec();
+        n_limbs.resize(s, 0);
+
+        // Newton–Hensel: each step doubles the valid low bits of the
+        // inverse; n₀ is its own inverse mod 8, so five steps reach 96.
+        let n0 = n_limbs[0];
+        let mut inv = n0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        let r2_value = (&BigUint::one() << (128 * s)).rem(&modulus);
+        let r2 = pad_limbs(&r2_value, s);
+        let one_value = (&BigUint::one() << (64 * s)).rem(&modulus);
+        let one = MontElem {
+            limbs: pad_limbs(&one_value, s),
+        };
+        Some(Self {
+            n: modulus,
+            n_limbs,
+            n0_inv,
+            r2,
+            one,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The Montgomery form of 1 (`R mod n`).
+    pub fn one(&self) -> MontElem {
+        self.one.clone()
+    }
+
+    /// Converts a value into Montgomery form (reducing mod `n` first).
+    pub fn convert(&self, x: &BigUint) -> MontElem {
+        let reduced = pad_limbs(&x.rem(&self.n), self.n_limbs.len());
+        MontElem {
+            limbs: self.mont_mul(&reduced, &self.r2),
+        }
+    }
+
+    /// Converts a Montgomery-form value back to the ordinary domain.
+    pub fn retrieve(&self, x: &MontElem) -> BigUint {
+        let mut one = vec![0u64; self.n_limbs.len()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(&x.limbs, &one))
+    }
+
+    /// Montgomery product: `a·b·R⁻¹ mod n`.
+    pub fn mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        MontElem {
+            limbs: self.mont_mul(&a.limbs, &b.limbs),
+        }
+    }
+
+    /// Raises a Montgomery-form base to `exp` with a fixed 4-bit window.
+    pub fn pow(&self, base: &MontElem, exp: &BigUint) -> MontElem {
+        let bits = exp.bits();
+        if bits == 0 {
+            return self.one();
+        }
+        // table[i] = baseⁱ (Montgomery form), i ∈ [0, 16).
+        let mut table = Vec::with_capacity(1 << WINDOW_BITS);
+        table.push(self.one());
+        for i in 1..1 << WINDOW_BITS {
+            table.push(self.mul(&table[i - 1], base));
+        }
+        let nibble = |w: usize| {
+            let mut v = 0usize;
+            for b in 0..WINDOW_BITS {
+                if exp.bit(w * WINDOW_BITS + b) {
+                    v |= 1 << b;
+                }
+            }
+            v
+        };
+        // The top window is non-zero because `bits > 0`.
+        let top = (bits - 1) / WINDOW_BITS;
+        let mut acc = table[nibble(top)].clone();
+        for w in (0..top).rev() {
+            for _ in 0..WINDOW_BITS {
+                acc = self.mul(&acc, &acc);
+            }
+            let d = nibble(w);
+            if d != 0 {
+                acc = self.mul(&acc, &table[d]);
+            }
+        }
+        acc
+    }
+
+    /// Computes `base^exp mod n` end to end (convert → pow → retrieve).
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.retrieve(&self.pow(&self.convert(base), exp))
+    }
+
+    /// One CIOS (coarsely integrated operand scanning) pass:
+    /// interleaves the multiplication `a·b` with per-limb reduction by
+    /// `m·n` where `m = t₀·n' mod 2⁶⁴`, so the running total stays at
+    /// `s + 1` limbs and the final result is `a·b·R⁻¹ mod n`.
+    ///
+    /// Inputs must be `s` limbs and `< n`; the output satisfies the same.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let s = self.n_limbs.len();
+        debug_assert_eq!(a.len(), s);
+        debug_assert_eq!(b.len(), s);
+        let mut t = vec![0u64; s + 2];
+        for &bi in b.iter().take(s) {
+            // t += a · bᵢ
+            let mut carry = 0u64;
+            for j in 0..s {
+                let cur = t[j] as u128 + a[j] as u128 * bi as u128 + carry as u128;
+                t[j] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = t[s] as u128 + carry as u128;
+            t[s] = cur as u64;
+            t[s + 1] = (cur >> 64) as u64;
+            // t = (t + m·n) / 2⁶⁴ — the division is exact by choice of m.
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let cur = t[0] as u128 + m as u128 * self.n_limbs[0] as u128;
+            debug_assert_eq!(cur as u64, 0);
+            let mut carry = (cur >> 64) as u64;
+            for j in 1..s {
+                let cur = t[j] as u128 + m as u128 * self.n_limbs[j] as u128 + carry as u128;
+                t[j - 1] = cur as u64;
+                carry = (cur >> 64) as u64;
+            }
+            let cur = t[s] as u128 + carry as u128;
+            t[s - 1] = cur as u64;
+            t[s] = t[s + 1] + (cur >> 64) as u64;
+            t[s + 1] = 0;
+        }
+        // Result < 2n: one conditional subtraction normalizes it.
+        if t[s] != 0 || ge_limbs(&t[..s], &self.n_limbs) {
+            let mut borrow = 0u64;
+            for (tj, &nj) in t.iter_mut().zip(&self.n_limbs) {
+                let (d1, b1) = tj.overflowing_sub(nj);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                *tj = d2;
+                borrow = (b1 | b2) as u64;
+            }
+            debug_assert_eq!(t[s], borrow, "subtraction must consume the overflow");
+        }
+        t.truncate(s);
+        t
+    }
+}
+
+/// Pads a value's limbs to exactly `s` entries (value must fit).
+fn pad_limbs(x: &BigUint, s: usize) -> Vec<u64> {
+    let mut limbs = x.limbs().to_vec();
+    debug_assert!(limbs.len() <= s);
+    limbs.resize(s, 0);
+    limbs
+}
+
+/// Compares equal-length little-endian limb slices: `a >= b`.
+fn ge_limbs(a: &[u64], b: &[u64]) -> bool {
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => continue,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::BigUint;
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn odd_biguint(bytes: &[u8]) -> BigUint {
+        let mut n = BigUint::from_bytes_be(bytes);
+        n.set_bit(0);
+        if n.is_one() {
+            n = BigUint::from_u64(3);
+        }
+        n
+    }
+
+    #[test]
+    fn rejects_even_and_degenerate_moduli() {
+        assert!(MontgomeryCtx::new(BigUint::zero()).is_none());
+        assert!(MontgomeryCtx::new(BigUint::one()).is_none());
+        assert!(MontgomeryCtx::new(BigUint::from_u64(10)).is_none());
+        assert!(MontgomeryCtx::new(BigUint::from_u64(3)).is_some());
+    }
+
+    #[test]
+    fn convert_retrieve_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [8usize, 64, 65, 128, 512] {
+            let n = {
+                let mut n = BigUint::random_bits(&mut rng, bits);
+                n.set_bit(0);
+                n
+            };
+            let ctx = MontgomeryCtx::new(n.clone()).unwrap();
+            for _ in 0..10 {
+                let x = BigUint::random_below(&mut rng, &n);
+                assert_eq!(ctx.retrieve(&ctx.convert(&x)), x, "bits {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_plain_modmul() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for bits in [64usize, 127, 256, 512] {
+            let mut n = BigUint::random_bits(&mut rng, bits);
+            n.set_bit(0);
+            let ctx = MontgomeryCtx::new(n.clone()).unwrap();
+            for _ in 0..10 {
+                let a = BigUint::random_below(&mut rng, &n);
+                let b = BigUint::random_below(&mut rng, &n);
+                let got = ctx.retrieve(&ctx.mul(&ctx.convert(&a), &ctx.convert(&b)));
+                assert_eq!(got, (&a * &b).rem(&n), "bits {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn modpow_edge_cases() {
+        let n = BigUint::from_u64(101);
+        let ctx = MontgomeryCtx::new(n.clone()).unwrap();
+        // exp = 0 → 1
+        assert!(ctx.modpow(&BigUint::from_u64(7), &BigUint::zero()).is_one());
+        // exp = 1 → base mod n (base ≥ n reduced)
+        assert_eq!(
+            ctx.modpow(&BigUint::from_u64(1000), &BigUint::one()),
+            BigUint::from_u64(1000 % 101)
+        );
+        // base = 0 → 0 for positive exponents
+        assert!(ctx.modpow(&BigUint::zero(), &BigUint::from_u64(5)).is_zero());
+        // base = n → 0
+        assert!(ctx.modpow(&n, &BigUint::from_u64(3)).is_zero());
+    }
+
+    #[test]
+    fn fermat_on_mersenne_prime() {
+        // p = 2^127 - 1; a^(p-1) ≡ 1 (mod p).
+        let p = &(&BigUint::one() << 127) - &BigUint::one();
+        let ctx = MontgomeryCtx::new(p.clone()).unwrap();
+        let pm1 = &p - &BigUint::one();
+        for a in [2u64, 3, 65537, 0xDEAD_BEEF] {
+            assert!(ctx.modpow(&BigUint::from_u64(a), &pm1).is_one(), "a = {a}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The tentpole's correctness claim: the Montgomery path is
+        /// *exactly* the naive square-and-multiply oracle, over random
+        /// base/exponent and random odd moduli of mixed widths.
+        #[test]
+        fn prop_modpow_montgomery_equals_naive(
+            base_bytes in proptest::collection::vec(any::<u8>(), 0..80),
+            exp_bytes in proptest::collection::vec(any::<u8>(), 0..24),
+            mod_bytes in proptest::collection::vec(any::<u8>(), 1..80),
+        ) {
+            let base = BigUint::from_bytes_be(&base_bytes);
+            let exp = BigUint::from_bytes_be(&exp_bytes);
+            let n = odd_biguint(&mod_bytes);
+            let ctx = MontgomeryCtx::new(n.clone()).unwrap();
+            prop_assert_eq!(ctx.modpow(&base, &exp), base.modpow_naive(&exp, &n));
+        }
+
+        /// RSA-sized: 512-bit odd moduli, full-width exponents.
+        #[test]
+        fn prop_modpow_matches_naive_at_rsa_width(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut n = BigUint::random_bits(&mut rng, 512);
+            n.set_bit(0);
+            let base = BigUint::random_bits(&mut rng, 512); // may exceed n
+            let exp = BigUint::random_bits(&mut rng, 512);
+            let ctx = MontgomeryCtx::new(n.clone()).unwrap();
+            prop_assert_eq!(ctx.modpow(&base, &exp), base.modpow_naive(&exp, &n));
+        }
+
+        /// The public dispatcher agrees with the oracle for *any* modulus,
+        /// odd (Montgomery path) or even (naive fallback).
+        #[test]
+        fn prop_dispatched_modpow_equals_naive(
+            base in any::<u64>(),
+            exp in any::<u64>(),
+            modulus in 1u64..u64::MAX,
+        ) {
+            let b = BigUint::from_u64(base);
+            let e = BigUint::from_u64(exp);
+            let m = BigUint::from_u64(modulus);
+            prop_assert_eq!(b.modpow(&e, &m), b.modpow_naive(&e, &m));
+        }
+    }
+}

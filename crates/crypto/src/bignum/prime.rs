@@ -1,5 +1,6 @@
 //! Probabilistic primality testing and prime generation.
 
+use super::montgomery::MontgomeryCtx;
 use super::BigUint;
 use rand::Rng;
 
@@ -48,19 +49,26 @@ pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R)
     }
     let two = BigUint::from_u64(2);
     let bound = n_minus_1.checked_sub(&two).map(|b| &b + &one);
+    // One Montgomery context shared by all witness rounds: n is odd and > 2
+    // after trial division, and every squaring below stays division-free.
+    // Conversion to Montgomery form is a bijection, so comparing against
+    // the converted 1 and n-1 is exact.
+    let ctx = MontgomeryCtx::new(n.clone()).expect("odd n > 2 after trial division");
+    let one_m = ctx.one();
+    let minus_one_m = ctx.convert(&n_minus_1);
     'witness: for _ in 0..rounds {
         // Random base in [2, n-2].
         let a = match &bound {
             Some(b) if !b.is_zero() => &BigUint::random_below(rng, b) + &two,
             _ => two.clone(),
         };
-        let mut x = a.modpow(&d, n);
-        if x.is_one() || x == n_minus_1 {
+        let mut x = ctx.pow(&ctx.convert(&a), &d);
+        if x == one_m || x == minus_one_m {
             continue;
         }
         for _ in 0..s.saturating_sub(1) {
-            x = (&x * &x).rem(n);
-            if x == n_minus_1 {
+            x = ctx.mul(&x, &x);
+            if x == minus_one_m {
                 continue 'witness;
             }
         }

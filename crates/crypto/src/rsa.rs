@@ -22,10 +22,11 @@
 //! assert!(!sk.public().verify(b"authorize device 8", &sig));
 //! ```
 
-use crate::bignum::{gen_prime, BigUint};
+use crate::bignum::{gen_prime, BigUint, MontgomeryCtx};
 use crate::sha256::sha256;
 use rand::Rng;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Fixed public exponent (F4), the universal default.
 pub const PUBLIC_EXPONENT: u64 = 65537;
@@ -68,10 +69,34 @@ impl fmt::Display for RsaError {
 impl std::error::Error for RsaError {}
 
 /// An RSA public key `(n, e)`.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// Carries a lazily-built [`MontgomeryCtx`] for `n`, shared across clones,
+/// so repeated verify/encrypt calls under the same key pay the context
+/// precomputation once instead of re-deriving division state per multiply.
+#[derive(Clone)]
 pub struct RsaPublicKey {
     n: BigUint,
     e: BigUint,
+    /// Montgomery context for `n`; `None` inside the cell when `n` is even
+    /// or degenerate (reachable via [`from_parts`](Self::from_parts)).
+    mont: Arc<OnceLock<Option<MontgomeryCtx>>>,
+}
+
+// Identity is (n, e); the cached context is derived state and must not
+// influence equality or hashing.
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
+
+impl std::hash::Hash for RsaPublicKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.n.hash(state);
+        self.e.hash(state);
+    }
 }
 
 impl fmt::Debug for RsaPublicKey {
@@ -86,7 +111,27 @@ impl fmt::Debug for RsaPublicKey {
 impl RsaPublicKey {
     /// Reassembles a public key from raw parts (e.g. deserialized bytes).
     pub fn from_parts(n: BigUint, e: BigUint) -> Self {
-        Self { n, e }
+        Self {
+            n,
+            e,
+            mont: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The cached Montgomery context for `n`, built on first use; `None`
+    /// when `n` is even or ≤ 1 (such keys still work via the naive path).
+    fn mont_ctx(&self) -> Option<&MontgomeryCtx> {
+        self.mont
+            .get_or_init(|| MontgomeryCtx::new(self.n.clone()))
+            .as_ref()
+    }
+
+    /// Computes `m^e mod n` through the cached context when available.
+    fn public_op(&self, m: &BigUint) -> BigUint {
+        match self.mont_ctx() {
+            Some(ctx) => ctx.modpow(m, &self.e),
+            None => m.modpow_naive(&self.e, &self.n),
+        }
     }
 
     /// The modulus.
@@ -147,7 +192,7 @@ impl RsaPublicKey {
         em.push(0x00);
         em.extend_from_slice(plaintext);
         let m = BigUint::from_bytes_be(&em);
-        let c = m.modpow(&self.e, &self.n);
+        let c = self.public_op(&m);
         Ok(c.to_bytes_be_padded(k))
     }
 
@@ -164,7 +209,7 @@ impl RsaPublicKey {
         if s >= self.n {
             return false;
         }
-        let em = s.modpow(&self.e, &self.n).to_bytes_be_padded(k);
+        let em = self.public_op(&s).to_bytes_be_padded(k);
         let expected = signature_payload(message, k);
         crate::sha256::ct_eq(&em, &expected)
     }
@@ -182,6 +227,9 @@ pub struct RsaPrivateKey {
     dp: BigUint,
     dq: BigUint,
     qinv: BigUint,
+    /// Montgomery contexts for `(p, q)`, built on first private op and
+    /// shared across clones.
+    mont_pq: Arc<OnceLock<(MontgomeryCtx, MontgomeryCtx)>>,
 }
 
 impl fmt::Debug for RsaPrivateKey {
@@ -224,13 +272,14 @@ impl RsaPrivateKey {
             let dq = d.rem(&(&q - &one));
             let Some(qinv) = q.modinv(&p) else { continue };
             return Self {
-                public: RsaPublicKey { n, e },
+                public: RsaPublicKey::from_parts(n, e),
                 d,
                 p,
                 q,
                 dp,
                 dq,
                 qinv,
+                mont_pq: Arc::new(OnceLock::new()),
             };
         }
     }
@@ -297,12 +346,27 @@ impl RsaPrivateKey {
         (&self.p, &self.q)
     }
 
+    /// The cached Montgomery contexts for `(p, q)`, built on first use.
+    /// The only constructor is [`generate`](Self::generate), so both
+    /// factors are guaranteed odd primes.
+    fn mont_pq(&self) -> &(MontgomeryCtx, MontgomeryCtx) {
+        self.mont_pq.get_or_init(|| {
+            (
+                MontgomeryCtx::new(self.p.clone()).expect("p is an odd prime"),
+                MontgomeryCtx::new(self.q.clone()).expect("q is an odd prime"),
+            )
+        })
+    }
+
     /// Computes `m^d mod n` via the Chinese Remainder Theorem (Garner's
     /// recombination), ~4x faster than a direct exponentiation because the
     /// two half-size exponentiations each cost an eighth of the full one.
+    /// Each half runs through its cached Montgomery context (conversion
+    /// reduces `m` mod the factor, so no explicit `rem` is needed).
     fn private_op(&self, m: &BigUint) -> BigUint {
-        let m1 = m.rem(&self.p).modpow(&self.dp, &self.p);
-        let m2 = m.rem(&self.q).modpow(&self.dq, &self.q);
+        let (ctx_p, ctx_q) = self.mont_pq();
+        let m1 = ctx_p.modpow(m, &self.dp);
+        let m2 = ctx_q.modpow(m, &self.dq);
         // h = qinv * (m1 - m2) mod p  (lift m2 into the mod-p residue).
         let diff = if m1 >= m2 {
             &m1 - &m2
@@ -470,6 +534,38 @@ mod tests {
             let crt = sk.private_op(&m);
             assert_eq!(crt, direct);
         }
+    }
+
+    #[test]
+    fn montgomery_private_op_matches_naive_oracle() {
+        // The CRT path now runs entirely through cached Montgomery
+        // contexts; it must agree bit-for-bit with naive square-and-multiply
+        // under the full private exponent.
+        let sk = test_key(16);
+        let mut rng = StdRng::seed_from_u64(160);
+        for _ in 0..5 {
+            let m = BigUint::random_below(&mut rng, sk.public().modulus());
+            let naive = m.modpow_naive(sk.private_exponent(), sk.public().modulus());
+            assert_eq!(sk.private_op(&m), naive);
+        }
+    }
+
+    #[test]
+    fn even_modulus_key_still_verifies_via_naive_fallback() {
+        // from_parts can deliver an even modulus (hostile or corrupt peer
+        // data); public ops must not panic and must match the oracle.
+        let sk = test_key(17);
+        let sig = sk.sign(b"msg");
+        let even = RsaPublicKey::from_parts(
+            sk.public().modulus() + &BigUint::one(),
+            sk.public().exponent().clone(),
+        );
+        assert!(!even.verify(b"msg", &sig));
+        let s = BigUint::from_bytes_be(&sig);
+        assert_eq!(
+            even.public_op(&s),
+            s.modpow_naive(even.exponent(), even.modulus())
+        );
     }
 
     #[test]

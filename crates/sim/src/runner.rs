@@ -10,7 +10,7 @@
 use crate::pi::PiCalibration;
 use biot_core::difficulty::{DifficultyPolicy, FixedPolicy, InverseProportionalPolicy, LinearPolicy};
 use biot_core::identity::Account;
-use biot_core::node::{Gateway, GatewayConfig, LightNode, Manager, SubmitError};
+use biot_core::node::{Gateway, GatewayConfig, LightNode, Manager, SubmitError, VerifyConfig};
 use biot_core::pow::Difficulty;
 use biot_net::time::SimTime;
 use biot_tangle::graph::TangleError;
@@ -66,6 +66,9 @@ pub struct NodeRunConfig {
     pub calibration: PiCalibration,
     /// How often the miner re-evaluates its difficulty while mining, ms.
     pub reassess_ms: u64,
+    /// Thread count for the gateway's batch admission checks (default
+    /// 1 = deterministic serial verification).
+    pub verify: VerifyConfig,
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
 }
@@ -79,6 +82,7 @@ impl Default for NodeRunConfig {
             policy: PolicyChoice::credit_based(),
             calibration: PiCalibration::fig9(),
             reassess_ms: 250,
+            verify: VerifyConfig::default(),
             seed: 42,
         }
     }
@@ -178,6 +182,7 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
         config.policy.to_boxed(),
         GatewayConfig::default(),
     );
+    gateway.set_verify_config(config.verify);
     let genesis = gateway.init_genesis(SimTime::ZERO);
     let device = LightNode::new(Account::generate(&mut rng));
     let dev_id = manager.register_device(device.public_key().clone());
