@@ -24,7 +24,7 @@ use biot_crypto::sha256::leading_zero_bits;
 use biot_net::time::SimTime;
 use biot_tangle::conflict::{LazyTipPolicy, LazyVerdict};
 use biot_tangle::graph::{Tangle, TangleError};
-use biot_tangle::tips::{TipSelector, UniformRandomSelector};
+use biot_tangle::tips::{SelectorConfig, TipSelector};
 use biot_tangle::tx::{NodeId, Payload, Transaction, TransactionBuilder, TxId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -88,6 +88,10 @@ pub struct GatewayConfig {
     pub verify_signatures: bool,
     /// Optional per-device token-bucket rate limit (off by default).
     pub rate_limit: Option<RateLimitConfig>,
+    /// Strategy served by [`Gateway::random_tips`] (step 4 of the Fig 6
+    /// workflow). Uniform by default — the historical behaviour; switch
+    /// to a weighted config to starve lazy tips (§II-B).
+    pub tip_selector: SelectorConfig,
 }
 
 impl Default for GatewayConfig {
@@ -98,6 +102,7 @@ impl Default for GatewayConfig {
             confirmation_threshold: 3,
             verify_signatures: true,
             rate_limit: None,
+            tip_selector: SelectorConfig::default(),
         }
     }
 }
@@ -181,6 +186,9 @@ pub struct Gateway {
     /// Optional token-ownership enforcement (off unless enabled).
     tokens: Option<TokenLedger>,
     verify: VerifyConfig,
+    /// Strategy behind [`Gateway::random_tips`], built from
+    /// [`GatewayConfig::tip_selector`].
+    selector: Box<dyn TipSelector + Send + Sync>,
     stats: GatewayStats,
 }
 
@@ -203,6 +211,7 @@ impl Gateway {
     ) -> Self {
         let manager_id = crate::identity::node_id_of(&manager_pk);
         let limiter = config.rate_limit.map(RateLimiter::new);
+        let selector = config.tip_selector.build();
         Self {
             tangle: Tangle::new(),
             credits: CreditRegistry::new(config.credit_params),
@@ -214,6 +223,7 @@ impl Gateway {
             limiter,
             tokens: None,
             verify: VerifyConfig::default(),
+            selector,
             stats: GatewayStats::default(),
         }
     }
@@ -226,6 +236,18 @@ impl Gateway {
     /// The current batch-verification configuration.
     pub fn verify_config(&self) -> VerifyConfig {
         self.verify
+    }
+
+    /// Swaps the tip-selection strategy served by
+    /// [`random_tips`](Self::random_tips).
+    pub fn set_tip_selector(&mut self, selector: SelectorConfig) {
+        self.config.tip_selector = selector;
+        self.selector = selector.build();
+    }
+
+    /// The configured tip-selection strategy.
+    pub fn tip_selector(&self) -> SelectorConfig {
+        self.config.tip_selector
     }
 
     /// Turns on token-ownership enforcement: spends are refused unless the
@@ -307,7 +329,7 @@ impl Gateway {
     /// RPC: two random tips for a light node to validate (step 4 of the
     /// Fig 6 workflow).
     pub fn random_tips<R: Rng>(&self, rng: &mut R) -> Option<(TxId, TxId)> {
-        UniformRandomSelector.select_tips(&self.tangle, rng)
+        self.selector.select_tips(&self.tangle, rng)
     }
 
     /// RPC: two random tips *with their full transactions*, so a light

@@ -9,6 +9,7 @@ use crate::pi::PiCalibration;
 use biot_core::difficulty::InverseProportionalPolicy;
 use biot_core::identity::Account;
 use biot_core::node::{Gateway, GatewayConfig, LightNode, Manager};
+use biot_tangle::tips::SelectorConfig;
 use biot_net::time::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,6 +32,9 @@ pub struct FleetConfig {
     pub think_time_ms: u64,
     /// Pi timing calibration.
     pub calibration: PiCalibration,
+    /// Tip-selection strategy the shared gateway serves (default
+    /// uniform, keeping seeded traces stable).
+    pub selector: SelectorConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -44,6 +48,7 @@ impl Default for FleetConfig {
             duration: SimTime::from_secs(90),
             think_time_ms: 2_000,
             calibration: PiCalibration::fig9(),
+            selector: SelectorConfig::default(),
             seed: 7,
         }
     }
@@ -78,7 +83,10 @@ pub fn run_fleet(config: &FleetConfig) -> FleetResult {
     let mut gateway = Gateway::new(
         manager.public_key().clone(),
         Box::new(InverseProportionalPolicy::default()),
-        GatewayConfig::default(),
+        GatewayConfig {
+            tip_selector: config.selector,
+            ..GatewayConfig::default()
+        },
     );
     let genesis = gateway.init_genesis(SimTime::ZERO);
     let n_total = config.n_honest + config.n_malicious;

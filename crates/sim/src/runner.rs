@@ -11,6 +11,7 @@ use crate::pi::PiCalibration;
 use biot_core::difficulty::{DifficultyPolicy, FixedPolicy, InverseProportionalPolicy, LinearPolicy};
 use biot_core::identity::Account;
 use biot_core::node::{Gateway, GatewayConfig, LightNode, Manager, SubmitError, VerifyConfig};
+use biot_tangle::tips::SelectorConfig;
 use biot_core::pow::Difficulty;
 use biot_net::time::SimTime;
 use biot_tangle::graph::TangleError;
@@ -69,6 +70,9 @@ pub struct NodeRunConfig {
     /// Thread count for the gateway's batch admission checks (default
     /// 1 = deterministic serial verification).
     pub verify: VerifyConfig,
+    /// Tip-selection strategy the gateway serves (default uniform — the
+    /// historical behaviour, keeping seeded traces stable).
+    pub selector: SelectorConfig,
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
 }
@@ -83,6 +87,7 @@ impl Default for NodeRunConfig {
             calibration: PiCalibration::fig9(),
             reassess_ms: 250,
             verify: VerifyConfig::default(),
+            selector: SelectorConfig::default(),
             seed: 42,
         }
     }
@@ -180,7 +185,10 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
     let mut gateway = Gateway::new(
         manager.public_key().clone(),
         config.policy.to_boxed(),
-        GatewayConfig::default(),
+        GatewayConfig {
+            tip_selector: config.selector,
+            ..GatewayConfig::default()
+        },
     );
     gateway.set_verify_config(config.verify);
     let genesis = gateway.init_genesis(SimTime::ZERO);

@@ -21,7 +21,7 @@ use biot_core::pow::Difficulty;
 use biot_net::queue::EventQueue;
 use biot_net::time::SimTime;
 use biot_tangle::graph::Tangle;
-use biot_tangle::tips::{TipSelector, UniformRandomSelector};
+use biot_tangle::tips::SelectorConfig;
 use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +43,10 @@ pub struct ThroughputConfig {
     /// Block propagation delay, ms — two blocks mined within this window
     /// fork, and one side's work is wasted (chain side).
     pub propagation_ms: u64,
+    /// Tip-selection strategy for the tangle side (default uniform — the
+    /// A1 baseline; weighted/depth-constrained configs shift where the
+    /// 2 ms validation budget goes, see EXPERIMENTS.md).
+    pub selector: SelectorConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -56,6 +60,7 @@ impl Default for ThroughputConfig {
             block_interval_s: 10.0,
             block_capacity: 100,
             propagation_ms: 500,
+            selector: SelectorConfig::default(),
             seed: 7,
         }
     }
@@ -96,6 +101,7 @@ pub fn run_tangle(config: &ThroughputConfig) -> ThroughputResult {
     let mut tangle = Tangle::new();
     let issuer = NodeId([1; 32]);
     tangle.attach_genesis(issuer, 0);
+    let selector = config.selector.build();
 
     let mut queue: EventQueue<WorkloadEvent> = EventQueue::new();
     queue.schedule_in(next_arrival_ms(config.offered_tps, &mut rng), WorkloadEvent::Arrival(0));
@@ -130,7 +136,7 @@ pub fn run_tangle(config: &ThroughputConfig) -> ThroughputResult {
                     wasted += 1; // backlog past the horizon
                     continue;
                 }
-                let (trunk, branch) = UniformRandomSelector
+                let (trunk, branch) = selector
                     .select_tips(&tangle, &mut rng)
                     .expect("genesis present");
                 let tx = TransactionBuilder::new(issuer)

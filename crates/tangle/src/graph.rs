@@ -107,6 +107,11 @@ pub struct Tangle {
     genesis: Option<TxId>,
     /// Monotone count of everything ever attached (survives pruning).
     total_attached: u64,
+    /// Stored ids in attach order (oldest first); pruned ids are dropped
+    /// by [`Tangle::snapshot`]. This is the recency index behind
+    /// [`Tangle::recent_non_tips`]: selecting a depth-constrained walk
+    /// start costs O(window) instead of collect-and-sort O(n log n).
+    recency: Vec<TxId>,
 }
 
 impl Tangle {
@@ -142,6 +147,7 @@ impl Tangle {
         self.tips.insert(id);
         self.genesis = Some(id);
         self.total_attached += 1;
+        self.recency.push(id);
         id
     }
 
@@ -213,6 +219,7 @@ impl Tangle {
         self.bump_ancestor_weights(&parents);
         self.tips.insert(id);
         self.total_attached += 1;
+        self.recency.push(id);
         Ok(id)
     }
 
@@ -276,6 +283,36 @@ impl Tangle {
     /// among transactions sharing an attach instant).
     pub fn attach_seq(&self, id: &TxId) -> Option<u64> {
         self.entries.get(id).map(|e| e.seq)
+    }
+
+    /// Stored ids in attach order, oldest first (the recency index).
+    ///
+    /// Pruned ids are absent; the slice is rebuilt-free — it is maintained
+    /// by [`Tangle::attach`] and compacted by [`Tangle::snapshot`].
+    pub fn attach_order(&self) -> &[TxId] {
+        &self.recency
+    }
+
+    /// The `window` most recently attached transactions that already have
+    /// at least one approver (i.e. non-tips), in attach order (oldest of
+    /// the window first).
+    ///
+    /// This is the candidate pool for depth-constrained walk starts (tips
+    /// cannot start a walk — it would terminate immediately). Costs
+    /// O(window + skipped tips): the recency index is scanned from its
+    /// newest end, so the full collect-and-sort over the tangle that this
+    /// replaces never happens.
+    pub fn recent_non_tips(&self, window: usize) -> Vec<TxId> {
+        let mut picked: Vec<TxId> = self
+            .recency
+            .iter()
+            .rev()
+            .filter(|id| !self.approvers(id).is_empty())
+            .take(window)
+            .copied()
+            .collect();
+        picked.reverse(); // oldest of the window first
+        picked
     }
 
     /// Direct approvers of `id` (transactions that chose it as a parent).
@@ -439,6 +476,7 @@ impl Tangle {
         for entry in self.entries.values_mut() {
             entry.approvers.retain(|a| !self.pruned.contains(a));
         }
+        self.recency.retain(|id| self.entries.contains_key(id));
         victims.len()
     }
 
@@ -676,6 +714,76 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         assert!(Tangle::new().is_empty());
+    }
+
+    /// Brute-force reference for [`Tangle::recent_non_tips`]: collect all
+    /// stored non-tips, sort by attach sequence, take the last `window`.
+    fn recent_non_tips_recount(t: &Tangle, window: usize) -> Vec<TxId> {
+        let mut recent: Vec<(u64, TxId)> = t
+            .iter()
+            .map(|tx| tx.id())
+            .filter(|id| !t.approvers(id).is_empty())
+            .map(|id| (t.attach_seq(&id).unwrap(), id))
+            .collect();
+        recent.sort();
+        let window = window.min(recent.len());
+        recent[recent.len() - window..]
+            .iter()
+            .map(|(_, id)| *id)
+            .collect()
+    }
+
+    #[test]
+    fn recency_index_tracks_attach_order() {
+        let (mut t, g) = with_genesis();
+        let a = t.attach(data_tx(1, g, g, 1), 1).unwrap();
+        let b = t.attach(data_tx(2, a, g, 2), 2).unwrap();
+        let c = t.attach(data_tx(3, b, b, 3), 3).unwrap();
+        assert_eq!(t.attach_order(), &[g, a, b, c]);
+        // g, a and b have approvers; the window clips to the newest two.
+        assert_eq!(t.recent_non_tips(10), vec![g, a, b]);
+        assert_eq!(t.recent_non_tips(2), vec![a, b]);
+        assert_eq!(t.recent_non_tips(0), Vec::<TxId>::new());
+    }
+
+    #[test]
+    fn recency_index_survives_snapshot() {
+        let (mut t, g) = with_genesis();
+        let a = t.attach(data_tx(1, g, g, 1), 1).unwrap();
+        let b = t.attach(data_tx(2, a, a, 2), 2).unwrap();
+        let c = t.attach(data_tx(3, b, b, 3), 3).unwrap();
+        t.confirm_with_threshold(2); // confirms a and b
+        t.snapshot(3); // prunes g, a, b
+        assert_eq!(t.attach_order(), &[c]);
+        let d = t.attach(data_tx(4, b, c, 4), 4).unwrap();
+        assert_eq!(t.attach_order(), &[c, d]);
+        assert_eq!(t.recent_non_tips(8), vec![c]);
+    }
+
+    #[test]
+    fn recent_non_tips_matches_recount_on_random_dags() {
+        use rand::SeedableRng;
+        for seed in 0..6u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let (mut t, _g) = with_genesis();
+            let mut clock = 0u64;
+            for round in 0..3 {
+                grow_random(&mut t, &mut rng, 50, clock);
+                clock += 51;
+                for window in [1usize, 4, 16, 1000] {
+                    assert_eq!(
+                        t.recent_non_tips(window),
+                        recent_non_tips_recount(&t, window),
+                        "seed {seed} round {round} window {window}"
+                    );
+                }
+                t.confirm_with_threshold(4);
+                if round % 2 == 1 {
+                    t.snapshot(clock.saturating_sub(40));
+                    assert_eq!(t.recent_non_tips(16), recent_non_tips_recount(&t, 16));
+                }
+            }
+        }
     }
 
     /// Every stored id's indexed weight must equal the BFS recount.
