@@ -92,6 +92,11 @@ pub struct GatewayConfig {
     /// workflow). Uniform by default — the historical behaviour; switch
     /// to a weighted config to starve lazy tips (§II-B).
     pub tip_selector: SelectorConfig,
+    /// Record every accepted transaction (and the genesis) in an outbox
+    /// for a gossip layer to broadcast — see
+    /// [`Gateway::take_broadcasts`]. Off by default: standalone gateways
+    /// should not accumulate an unread queue.
+    pub record_broadcasts: bool,
 }
 
 impl Default for GatewayConfig {
@@ -103,6 +108,7 @@ impl Default for GatewayConfig {
             verify_signatures: true,
             rate_limit: None,
             tip_selector: SelectorConfig::default(),
+            record_broadcasts: false,
         }
     }
 }
@@ -190,6 +196,9 @@ pub struct Gateway {
     /// [`GatewayConfig::tip_selector`].
     selector: Box<dyn TipSelector + Send + Sync>,
     stats: GatewayStats,
+    /// Accepted transactions awaiting pickup by a gossip layer (filled
+    /// only when [`GatewayConfig::record_broadcasts`] is on).
+    outbox: Vec<Transaction>,
 }
 
 impl fmt::Debug for Gateway {
@@ -225,6 +234,7 @@ impl Gateway {
             verify: VerifyConfig::default(),
             selector,
             stats: GatewayStats::default(),
+            outbox: Vec::new(),
         }
     }
 
@@ -291,7 +301,22 @@ impl Gateway {
     /// Bootstraps the ledger with a genesis issued by the primary manager.
     pub fn init_genesis(&mut self, now: SimTime) -> TxId {
         let primary = crate::identity::node_id_of(self.authz.manager_pk());
-        self.tangle.attach_genesis(primary, now.as_millis())
+        let id = self.tangle.attach_genesis(primary, now.as_millis());
+        if self.config.record_broadcasts {
+            if let Some(tx) = self.tangle.get(&id) {
+                self.outbox.push(tx.clone());
+            }
+        }
+        id
+    }
+
+    /// Drains the broadcast outbox: every transaction this gateway
+    /// accepted since the last call, in attach order. A gossip layer
+    /// (see `biot-gossip`) calls this periodically and announces the
+    /// drained transactions to peers. Empty unless
+    /// [`GatewayConfig::record_broadcasts`] is set.
+    pub fn take_broadcasts(&mut self) -> Vec<Transaction> {
+        std::mem::take(&mut self.outbox)
     }
 
     /// Registers a device's public key so its signatures can be checked.
@@ -492,10 +517,12 @@ impl Gateway {
         match self.tangle.attach(tx, now.as_millis()) {
             Ok(id) => {
                 self.stats.accepted += 1;
-                if let Some(tokens) = &mut self.tokens {
-                    // Safe to unwrap-get: the id was just attached.
-                    if let Some(accepted) = self.tangle.get(&id) {
+                if let Some(accepted) = self.tangle.get(&id) {
+                    if let Some(tokens) = &mut self.tokens {
                         tokens.apply(accepted);
+                    }
+                    if self.config.record_broadcasts {
+                        self.outbox.push(accepted.clone());
                     }
                 }
                 if let LazyVerdict::Lazy(_) = verdict {
@@ -1455,6 +1482,50 @@ mod tests {
         let before = w.gateway.stats();
         assert!(w.gateway.submit_batch(Vec::new(), t(1)).is_empty());
         assert_eq!(w.gateway.stats(), before);
+    }
+
+    #[test]
+    fn broadcast_outbox_records_accepted_only() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let manager = Manager::new(Account::generate(&mut rng));
+        let device = LightNode::new(Account::generate(&mut rng));
+        let mut gateway = Gateway::new(
+            manager.public_key().clone(),
+            Box::new(InverseProportionalPolicy::default()),
+            GatewayConfig {
+                record_broadcasts: true,
+                ..GatewayConfig::default()
+            },
+        );
+        let genesis = gateway.init_genesis(SimTime::ZERO);
+        let mut manager = manager;
+        let dev_id = manager.register_device(device.public_key().clone());
+        manager.authorize(dev_id);
+        gateway.register_pubkey(device.public_key().clone());
+        let d = gateway.difficulty_for(manager.id(), SimTime::ZERO);
+        let list = manager.prepare_auth_list((genesis, genesis), SimTime::ZERO, d);
+        gateway.apply_auth_list(list.tx, SimTime::ZERO).unwrap();
+
+        // Genesis + auth list so far, in attach order.
+        let drained = gateway.take_broadcasts();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].id(), genesis);
+        assert!(gateway.take_broadcasts().is_empty(), "drain empties the outbox");
+
+        // An accepted reading lands in the outbox; a rejected stranger
+        // and a gossip receipt do not.
+        let tips = gateway.random_tips(&mut rng).unwrap();
+        let diff = gateway.difficulty_for(dev_id, t(1));
+        let p = device.prepare_reading(b"ok", tips, t(1), diff, &mut rng);
+        let accepted_id = gateway.submit(p.tx.clone(), t(1)).unwrap();
+        let stranger = LightNode::new(Account::generate(&mut rng));
+        let tips = gateway.random_tips(&mut rng).unwrap();
+        let bad = stranger.prepare_reading(b"no", tips, t(1), Difficulty::INITIAL, &mut rng);
+        let _ = gateway.submit(bad.tx, t(1));
+        gateway.receive_broadcast(p.tx, t(1)).unwrap();
+        let drained = gateway.take_broadcasts();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id(), accepted_id);
     }
 
     #[test]

@@ -1,0 +1,1079 @@
+//! The gossip node: protocol logic over any [`Transport`].
+//!
+//! A [`GossipNode`] wraps a shared [`Tangle`] (behind a mutex, so a
+//! gateway thread and the gossip loop can both touch it) and keeps the
+//! replica converged with its peers:
+//!
+//! * **Broadcast** — locally attached transactions are announced to every
+//!   ready peer; peers pull the payload with `GetTx`.
+//! * **Solidification** — transactions arriving before their parents wait
+//!   in a bounded queue while the missing ancestors are requested; once a
+//!   parent lands, every waiting descendant attaches in cascade. The
+//!   queue evicts its oldest entry when full, so a hostile peer cannot
+//!   balloon memory with orphans.
+//! * **Anti-entropy** — a periodic `GetTips` exchange; any tip we do not
+//!   hold is pulled, and its ancestor cone follows via solidification, so
+//!   a cold-started node converges to an established peer's DAG.
+//! * **Reconnect** — outbound peers created with a [`Connector`] are
+//!   redialed after a connection dies, with capped exponential backoff;
+//!   after too many consecutive failures the peer is demoted to dead and
+//!   left alone.
+//!
+//! Everything is driven by [`GossipNode::poll`] with an explicit
+//! clock, so simulated deployments advance virtual time and tests are
+//! fully deterministic; real deployments call it in a small sleep loop
+//! (see `examples/gossip_sync.rs`).
+
+use crate::transport::{Connector, Transport};
+use crate::wire::{baseline_hash, decode_msg, encode_msg, Message, PROTOCOL_VERSION};
+use biot_tangle::graph::{Tangle, TangleError};
+use biot_tangle::tx::{Transaction, TxId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// A tangle shared between its owner (gateway, simulator) and the gossip
+/// layer.
+pub type SharedTangle = Arc<Mutex<Tangle>>;
+
+/// Tuning knobs for a [`GossipNode`].
+#[derive(Clone, Debug)]
+pub struct GossipConfig {
+    /// How often to exchange tip sets with every ready peer, ms.
+    pub anti_entropy_ms: u64,
+    /// How often to send heartbeats, ms (`0` disables; a ready peer
+    /// silent for 4× this interval is treated as dead).
+    pub heartbeat_ms: u64,
+    /// Max transactions waiting for parents; the oldest is evicted when
+    /// the queue is full.
+    pub max_pending: usize,
+    /// Wait this long before re-requesting a transaction already asked
+    /// for, ms.
+    pub request_retry_ms: u64,
+    /// First reconnect delay after a connection dies, ms.
+    pub backoff_base_ms: u64,
+    /// Reconnect delay ceiling, ms.
+    pub backoff_max_ms: u64,
+    /// Consecutive failures after which an outbound peer is demoted to
+    /// dead (no further dials).
+    pub max_connect_failures: u32,
+    /// Re-announce transactions learned from one peer to the others
+    /// (epidemic relay; disable for star topologies).
+    pub relay: bool,
+    /// Frame-processing budget per peer per poll.
+    pub max_frames_per_poll: u32,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        Self {
+            anti_entropy_ms: 500,
+            heartbeat_ms: 5_000,
+            max_pending: 1_024,
+            request_retry_ms: 500,
+            backoff_base_ms: 100,
+            backoff_max_ms: 10_000,
+            max_connect_failures: 10,
+            relay: true,
+            max_frames_per_poll: 1_024,
+        }
+    }
+}
+
+/// Everything a gossip node has done, by outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GossipStats {
+    /// Frames received (all kinds).
+    pub frames_in: u64,
+    /// Frames sent (all kinds).
+    pub frames_out: u64,
+    /// Transactions attached to the local tangle (local + remote).
+    pub attached: u64,
+    /// Transactions received that were already present.
+    pub duplicates: u64,
+    /// Transactions the tangle refused (double-spend etc.) or whose
+    /// genesis could not be reproduced.
+    pub rejected: u64,
+    /// Solidification-queue entries dropped because the queue was full.
+    pub evicted: u64,
+    /// `GetTx` requests sent.
+    pub requests_sent: u64,
+    /// `Announce` frames sent.
+    pub announces_sent: u64,
+    /// Transaction payloads served to peers.
+    pub tx_sent: u64,
+    /// Handshakes completed.
+    pub handshakes: u64,
+    /// Connections lost (including failed dials).
+    pub disconnects: u64,
+    /// Frames that failed to decode (connection dropped on each).
+    pub invalid_frames: u64,
+    /// Peers refused for version/genesis mismatch.
+    pub incompatible: u64,
+}
+
+/// Where a peer slot currently stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeerState {
+    /// Connection up, handshake not yet complete.
+    AwaitingHello,
+    /// Handshake done; the peer takes part in gossip.
+    Ready,
+    /// No connection; a redial is scheduled.
+    Backoff,
+    /// No connection and no way to redial (inbound peer that hung up).
+    Disconnected,
+    /// Demoted after too many failures or an incompatibility; never
+    /// redialed.
+    Dead,
+}
+
+/// Introspection snapshot of one peer slot.
+#[derive(Clone, Debug)]
+pub struct PeerInfo {
+    /// Current lifecycle state.
+    pub state: PeerState,
+    /// Consecutive connection failures.
+    pub failures: u32,
+    /// Current reconnect delay, ms.
+    pub backoff_ms: u64,
+    /// When the next dial is allowed, ms.
+    pub next_retry_ms: u64,
+    /// Transport label (empty while disconnected).
+    pub label: String,
+}
+
+struct Conn {
+    transport: Box<dyn Transport>,
+    hello_sent: bool,
+    ready: bool,
+    /// Frames that arrived before the peer's Hello (possible under
+    /// reordering transports); replayed once the handshake lands.
+    prehello: Vec<Message>,
+    last_seen_ms: u64,
+}
+
+struct PeerSlot {
+    conn: Option<Conn>,
+    connector: Option<Box<dyn Connector>>,
+    failures: u32,
+    backoff_ms: u64,
+    next_retry_ms: u64,
+    dead: bool,
+}
+
+/// A transaction waiting for its parents.
+struct PendingTx {
+    tx: Transaction,
+    attach_ms: u64,
+    missing: BTreeSet<TxId>,
+    /// Arrival order, for oldest-first eviction.
+    seq: u64,
+}
+
+/// Cap on ids in one `Tips` frame (stays well under the frame limit).
+const MAX_IDS_PER_TIPS: usize = 4_096;
+/// Cap on buffered pre-handshake frames per connection.
+const MAX_PREHELLO: usize = 256;
+
+/// One replica's gossip endpoint. See the [module docs](self).
+pub struct GossipNode {
+    cfg: GossipConfig,
+    tangle: SharedTangle,
+    peers: Vec<PeerSlot>,
+    pending: BTreeMap<TxId, PendingTx>,
+    /// parent id → pending children waiting on it.
+    waiters: BTreeMap<TxId, Vec<TxId>>,
+    /// In-flight `GetTx` requests and when they were (last) sent.
+    requested: BTreeMap<TxId, u64>,
+    next_anti_entropy_ms: u64,
+    next_heartbeat_ms: u64,
+    pending_seq: u64,
+    stats: GossipStats,
+}
+
+impl std::fmt::Debug for GossipNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GossipNode")
+            .field("peers", &self.peers.len())
+            .field("pending", &self.pending.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl GossipNode {
+    /// Creates a node over a shared tangle.
+    pub fn new(tangle: SharedTangle, cfg: GossipConfig) -> Self {
+        Self {
+            cfg,
+            tangle,
+            peers: Vec::new(),
+            pending: BTreeMap::new(),
+            waiters: BTreeMap::new(),
+            requested: BTreeMap::new(),
+            next_anti_entropy_ms: 0,
+            next_heartbeat_ms: 0,
+            pending_seq: 0,
+            stats: GossipStats::default(),
+        }
+    }
+
+    /// Convenience: a node over a fresh empty tangle.
+    pub fn with_empty_tangle(cfg: GossipConfig) -> Self {
+        Self::new(Arc::new(Mutex::new(Tangle::new())), cfg)
+    }
+
+    /// The shared tangle handle.
+    pub fn tangle(&self) -> &SharedTangle {
+        &self.tangle
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> GossipStats {
+        self.stats
+    }
+
+    /// Number of transactions waiting for parents.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Registers an outbound peer; the first dial happens on the next
+    /// [`poll`](Self::poll). Returns the peer index.
+    pub fn connect(&mut self, connector: Box<dyn Connector>) -> usize {
+        self.peers.push(PeerSlot {
+            conn: None,
+            connector: Some(connector),
+            failures: 0,
+            backoff_ms: 0,
+            next_retry_ms: 0,
+            dead: false,
+        });
+        self.peers.len() - 1
+    }
+
+    /// Registers an already-established connection (e.g. freshly
+    /// accepted from a listener). Returns the peer index.
+    pub fn add_transport(&mut self, transport: Box<dyn Transport>, now_ms: u64) -> usize {
+        self.peers.push(PeerSlot {
+            conn: Some(Conn {
+                transport,
+                hello_sent: false,
+                ready: false,
+                prehello: Vec::new(),
+                last_seen_ms: now_ms,
+            }),
+            connector: None,
+            failures: 0,
+            backoff_ms: 0,
+            next_retry_ms: 0,
+            dead: false,
+        });
+        self.peers.len() - 1
+    }
+
+    /// Introspects one peer slot (panics if out of range).
+    pub fn peer_info(&self, i: usize) -> PeerInfo {
+        let slot = &self.peers[i];
+        let state = if slot.dead {
+            PeerState::Dead
+        } else {
+            match (&slot.conn, &slot.connector) {
+                (Some(c), _) if c.ready => PeerState::Ready,
+                (Some(_), _) => PeerState::AwaitingHello,
+                (None, Some(_)) => PeerState::Backoff,
+                (None, None) => PeerState::Disconnected,
+            }
+        };
+        PeerInfo {
+            state,
+            failures: slot.failures,
+            backoff_ms: slot.backoff_ms,
+            next_retry_ms: slot.next_retry_ms,
+            label: slot.conn.as_ref().map(|c| c.transport.label()).unwrap_or_default(),
+        }
+    }
+
+    /// Number of peers currently past the handshake.
+    pub fn ready_peers(&self) -> usize {
+        self.peers
+            .iter()
+            .filter(|s| s.conn.as_ref().is_some_and(|c| c.ready))
+            .count()
+    }
+
+    /// Attaches a locally produced transaction and announces it to every
+    /// ready peer. Genesis transactions bootstrap the ledger.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TangleError`] from the attach.
+    pub fn attach_local(&mut self, tx: Transaction, now_ms: u64) -> Result<TxId, TangleError> {
+        let id = {
+            let mut t = self.tangle.lock().unwrap();
+            if tx.is_genesis() {
+                if t.genesis().is_some() {
+                    return Err(TangleError::Duplicate(tx.id()));
+                }
+                t.attach_genesis(tx.issuer, tx.timestamp_ms)
+            } else {
+                t.attach(tx, now_ms)?
+            }
+        };
+        self.stats.attached += 1;
+        self.announce_to_ready(id, None, now_ms);
+        self.resolve_waiters(id, now_ms);
+        Ok(id)
+    }
+
+    /// One protocol step at virtual (or wall) time `now_ms`: redial due
+    /// peers, send handshakes, process inbound frames, run the
+    /// anti-entropy and heartbeat timers.
+    pub fn poll(&mut self, now_ms: u64) {
+        self.redial_due_peers(now_ms);
+        for i in 0..self.peers.len() {
+            self.service_peer(i, now_ms);
+        }
+        self.expire_silent_peers(now_ms);
+        if now_ms >= self.next_anti_entropy_ms {
+            self.next_anti_entropy_ms = now_ms + self.cfg.anti_entropy_ms;
+            self.run_anti_entropy(now_ms);
+        }
+        if self.cfg.heartbeat_ms > 0 && now_ms >= self.next_heartbeat_ms {
+            self.next_heartbeat_ms = now_ms + self.cfg.heartbeat_ms;
+            for i in 0..self.peers.len() {
+                if self.peer_ready(i) {
+                    self.send_to(i, &Message::Heartbeat(now_ms), now_ms);
+                }
+            }
+        }
+    }
+
+    // --- Connection lifecycle ------------------------------------------------
+
+    fn redial_due_peers(&mut self, now_ms: u64) {
+        for i in 0..self.peers.len() {
+            let slot = &mut self.peers[i];
+            if slot.dead || slot.conn.is_some() || now_ms < slot.next_retry_ms {
+                continue;
+            }
+            let Some(connector) = slot.connector.as_mut() else { continue };
+            match connector.connect() {
+                Ok(transport) => {
+                    slot.conn = Some(Conn {
+                        transport,
+                        hello_sent: false,
+                        ready: false,
+                        prehello: Vec::new(),
+                        last_seen_ms: now_ms,
+                    });
+                }
+                Err(_) => self.record_failure(i, now_ms),
+            }
+        }
+    }
+
+    /// Books one connection failure: exponential backoff, capped; demote
+    /// to dead past the limit.
+    fn record_failure(&mut self, i: usize, now_ms: u64) {
+        let cfg_base = self.cfg.backoff_base_ms.max(1);
+        let slot = &mut self.peers[i];
+        slot.failures += 1;
+        self.stats.disconnects += 1;
+        let shift = (slot.failures - 1).min(20);
+        slot.backoff_ms = cfg_base
+            .saturating_mul(1u64 << shift)
+            .min(self.cfg.backoff_max_ms);
+        slot.next_retry_ms = now_ms + slot.backoff_ms;
+        if slot.failures > self.cfg.max_connect_failures || slot.connector.is_none() {
+            // Outbound: demote after too many strikes. Inbound: nothing to
+            // redial, the slot just goes quiet (not dead — the peer may
+            // accept a fresh inbound connection any time).
+            if slot.connector.is_some() {
+                slot.dead = true;
+            }
+        }
+    }
+
+    fn conn_lost(&mut self, i: usize, now_ms: u64) {
+        self.peers[i].conn = None;
+        self.record_failure(i, now_ms);
+    }
+
+    /// Drops a peer permanently (wrong protocol version / wrong ledger).
+    fn demote_incompatible(&mut self, i: usize) {
+        if let Some(mut c) = self.peers[i].conn.take() {
+            c.transport.close();
+        }
+        self.peers[i].dead = true;
+        self.stats.incompatible += 1;
+    }
+
+    fn peer_ready(&self, i: usize) -> bool {
+        self.peers[i].conn.as_ref().is_some_and(|c| c.ready)
+    }
+
+    /// Ready peers silent past the liveness window are treated as lost.
+    fn expire_silent_peers(&mut self, now_ms: u64) {
+        if self.cfg.heartbeat_ms == 0 {
+            return;
+        }
+        let window = self.cfg.heartbeat_ms.saturating_mul(4);
+        for i in 0..self.peers.len() {
+            let stale = self.peers[i]
+                .conn
+                .as_ref()
+                .is_some_and(|c| c.ready && now_ms.saturating_sub(c.last_seen_ms) > window);
+            if stale {
+                self.conn_lost(i, now_ms);
+            }
+        }
+    }
+
+    // --- Frame pump ----------------------------------------------------------
+
+    fn service_peer(&mut self, i: usize, now_ms: u64) {
+        if self.peers[i].conn.as_ref().is_some_and(|c| !c.hello_sent) {
+            let hello = self.build_hello();
+            if self.send_to(i, &hello, now_ms) {
+                if let Some(c) = self.peers[i].conn.as_mut() {
+                    c.hello_sent = true;
+                }
+            }
+        }
+        for _ in 0..self.cfg.max_frames_per_poll {
+            let frame = match self.peers[i].conn.as_mut() {
+                Some(c) => match c.transport.try_recv() {
+                    Ok(Some(f)) => {
+                        c.last_seen_ms = now_ms;
+                        f
+                    }
+                    Ok(None) => return,
+                    Err(_) => {
+                        self.conn_lost(i, now_ms);
+                        return;
+                    }
+                },
+                None => return,
+            };
+            self.stats.frames_in += 1;
+            match decode_msg(&frame) {
+                Ok(msg) => self.handle_message(i, msg, now_ms),
+                Err(_) => {
+                    // A peer speaking garbage is desynced beyond repair on
+                    // this connection; drop it and let backoff redial.
+                    self.stats.invalid_frames += 1;
+                    if let Some(c) = self.peers[i].conn.as_mut() {
+                        c.transport.close();
+                    }
+                    self.conn_lost(i, now_ms);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn build_hello(&self) -> Message {
+        let (genesis, pruned) = {
+            let t = self.tangle.lock().unwrap();
+            (t.genesis(), t.pruned_ids())
+        };
+        Message::Hello {
+            version: PROTOCOL_VERSION,
+            genesis,
+            baseline: baseline_hash(genesis, &pruned),
+        }
+    }
+
+    /// True while this replica has nothing at all — it then bootstraps
+    /// from a peer's baseline instead of a tip exchange.
+    fn is_cold(&self) -> bool {
+        let t = self.tangle.lock().unwrap();
+        t.genesis().is_none() && t.is_empty()
+    }
+
+    fn send_to(&mut self, i: usize, msg: &Message, now_ms: u64) -> bool {
+        let frame = encode_msg(msg);
+        let Some(c) = self.peers[i].conn.as_mut() else { return false };
+        match c.transport.send(&frame) {
+            Ok(()) => {
+                self.stats.frames_out += 1;
+                true
+            }
+            Err(_) => {
+                self.conn_lost(i, now_ms);
+                false
+            }
+        }
+    }
+
+    fn announce_to_ready(&mut self, id: TxId, except: Option<usize>, now_ms: u64) {
+        for i in 0..self.peers.len() {
+            if Some(i) == except || !self.peer_ready(i) {
+                continue;
+            }
+            if self.send_to(i, &Message::Announce(id), now_ms) {
+                self.stats.announces_sent += 1;
+            }
+        }
+    }
+
+    // --- Message handling ----------------------------------------------------
+
+    fn handle_message(&mut self, i: usize, msg: Message, now_ms: u64) {
+        // Everything except the handshake itself waits for the handshake.
+        if !self.peer_ready(i) && !matches!(msg, Message::Hello { .. }) {
+            if let Some(c) = self.peers[i].conn.as_mut() {
+                if c.prehello.len() < MAX_PREHELLO {
+                    c.prehello.push(msg);
+                }
+            }
+            return;
+        }
+        match msg {
+            Message::Hello { version, genesis, baseline: _ } => {
+                self.handle_hello(i, version, genesis, now_ms);
+            }
+            Message::Announce(id) => {
+                self.request_if_unknown(i, id, now_ms);
+            }
+            Message::GetTx(id) => {
+                let found = {
+                    let t = self.tangle.lock().unwrap();
+                    t.get(&id)
+                        .map(|tx| (tx.clone(), t.attach_time_ms(&id).unwrap_or(0)))
+                };
+                if let Some((tx, attach_ms)) = found {
+                    self.stats.tx_sent += 1;
+                    self.send_to(i, &Message::TxPayload { attach_ms, tx }, now_ms);
+                }
+            }
+            Message::TxPayload { attach_ms, tx } => {
+                self.ingest_remote(i, tx, attach_ms, now_ms);
+            }
+            Message::GetTips => {
+                let mut tips = self.tangle.lock().unwrap().tips();
+                tips.truncate(MAX_IDS_PER_TIPS);
+                self.send_to(i, &Message::Tips(tips), now_ms);
+            }
+            Message::Tips(ids) => {
+                for id in ids {
+                    self.request_if_unknown(i, id, now_ms);
+                }
+            }
+            Message::Heartbeat(_) => {} // last_seen already refreshed
+            Message::GetBaseline => {
+                let (genesis, pruned) = {
+                    let t = self.tangle.lock().unwrap();
+                    let genesis = t.genesis().and_then(|g| {
+                        t.get(&g)
+                            .map(|tx| (t.attach_time_ms(&g).unwrap_or(0), tx.clone()))
+                    });
+                    (genesis, t.pruned_ids())
+                };
+                self.send_to(i, &Message::Baseline { genesis, pruned }, now_ms);
+            }
+            Message::Baseline { genesis, pruned } => {
+                self.handle_baseline(i, genesis, pruned, now_ms);
+            }
+        }
+    }
+
+    fn handle_hello(&mut self, i: usize, version: u16, genesis: Option<TxId>, now_ms: u64) {
+        if version != PROTOCOL_VERSION {
+            self.demote_incompatible(i);
+            return;
+        }
+        let ours = self.tangle.lock().unwrap().genesis();
+        if let (Some(a), Some(b)) = (ours, genesis) {
+            if a != b {
+                self.demote_incompatible(i);
+                return;
+            }
+        }
+        let buffered = match self.peers[i].conn.as_mut() {
+            Some(c) => {
+                c.ready = true;
+                std::mem::take(&mut c.prehello)
+            }
+            None => return,
+        };
+        self.stats.handshakes += 1;
+        self.peers[i].failures = 0;
+        self.peers[i].backoff_ms = 0;
+        // Kick off synchronization immediately rather than waiting for
+        // the first anti-entropy tick.
+        if self.is_cold() {
+            self.send_to(i, &Message::GetBaseline, now_ms);
+        } else {
+            self.send_to(i, &Message::GetTips, now_ms);
+            let mut tips = self.tangle.lock().unwrap().tips();
+            tips.truncate(MAX_IDS_PER_TIPS);
+            self.send_to(i, &Message::Tips(tips), now_ms);
+        }
+        for msg in buffered {
+            self.handle_message(i, msg, now_ms);
+        }
+    }
+
+    fn handle_baseline(
+        &mut self,
+        i: usize,
+        genesis: Option<(u64, Transaction)>,
+        pruned: Vec<TxId>,
+        now_ms: u64,
+    ) {
+        if !self.is_cold() {
+            return; // unsolicited or late; we already have a baseline
+        }
+        {
+            self.tangle.lock().unwrap().adopt_pruned(pruned.iter().copied());
+        }
+        if let Some((_attach_ms, gtx)) = genesis {
+            self.ingest_remote(i, gtx, 0, now_ms);
+        }
+        // Anything buffered that was waiting on now-pruned ancestors is
+        // attachable.
+        for id in pruned {
+            self.resolve_waiters(id, now_ms);
+        }
+        self.send_to(i, &Message::GetTips, now_ms);
+    }
+
+    fn request_due(&self, id: &TxId, now_ms: u64) -> bool {
+        match self.requested.get(id) {
+            None => true,
+            Some(&t) => now_ms.saturating_sub(t) >= self.cfg.request_retry_ms,
+        }
+    }
+
+    fn request_if_unknown(&mut self, i: usize, id: TxId, now_ms: u64) {
+        let known = {
+            let t = self.tangle.lock().unwrap();
+            t.contains(&id) || t.is_pruned(&id)
+        };
+        if known || self.pending.contains_key(&id) || !self.request_due(&id, now_ms) {
+            return;
+        }
+        self.requested.insert(id, now_ms);
+        self.stats.requests_sent += 1;
+        self.send_to(i, &Message::GetTx(id), now_ms);
+    }
+
+    /// A transaction arrived from peer `i`: attach it, or buffer it until
+    /// its parents arrive.
+    fn ingest_remote(&mut self, i: usize, tx: Transaction, attach_ms: u64, now_ms: u64) {
+        let id = tx.id();
+        if tx.is_genesis() {
+            self.ingest_genesis(i, tx, now_ms);
+            return;
+        }
+        let missing: Vec<TxId> = {
+            let t = self.tangle.lock().unwrap();
+            if t.contains(&id) || t.is_pruned(&id) {
+                self.requested.remove(&id);
+                self.stats.duplicates += 1;
+                return;
+            }
+            tx.parents()
+                .into_iter()
+                .filter(|p| *p != TxId::GENESIS_PARENT && !t.contains(p) && !t.is_pruned(p))
+                .collect()
+        };
+        if self.pending.contains_key(&id) {
+            self.stats.duplicates += 1;
+            return;
+        }
+        if missing.is_empty() {
+            self.try_attach_resolved(i, tx, attach_ms, now_ms);
+            return;
+        }
+        // Buffer and chase the missing ancestors.
+        self.requested.remove(&id);
+        let missing_set: BTreeSet<TxId> = missing.iter().copied().collect();
+        for parent in &missing_set {
+            self.waiters.entry(*parent).or_default().push(id);
+        }
+        self.pending.insert(
+            id,
+            PendingTx { tx, attach_ms, missing: missing_set.clone(), seq: self.pending_seq },
+        );
+        self.pending_seq += 1;
+        self.evict_if_full();
+        for parent in missing_set {
+            if self.request_due(&parent, now_ms) {
+                self.requested.insert(parent, now_ms);
+                self.stats.requests_sent += 1;
+                self.send_to(i, &Message::GetTx(parent), now_ms);
+            }
+        }
+    }
+
+    fn ingest_genesis(&mut self, i: usize, tx: Transaction, now_ms: u64) {
+        let claimed = tx.id();
+        let rebuilt = {
+            let mut t = self.tangle.lock().unwrap();
+            if t.genesis().is_some() || t.is_pruned(&claimed) {
+                self.requested.remove(&claimed);
+                self.stats.duplicates += 1;
+                return;
+            }
+            // A genesis is fully determined by (issuer, timestamp); rebuild
+            // it locally so the id provably matches the peer's ledger.
+            t.attach_genesis(tx.issuer, tx.timestamp_ms)
+        };
+        self.requested.remove(&claimed);
+        if rebuilt != claimed {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.stats.attached += 1;
+        if self.cfg.relay {
+            self.announce_to_ready(rebuilt, Some(i), now_ms);
+        }
+        self.resolve_waiters(rebuilt, now_ms);
+    }
+
+    /// Attaches a transaction whose parents are all present, then
+    /// cascades through everything that was waiting on it.
+    fn try_attach_resolved(&mut self, from: usize, tx: Transaction, attach_ms: u64, now_ms: u64) {
+        let id = tx.id();
+        self.requested.remove(&id);
+        let result = self.tangle.lock().unwrap().attach(tx, attach_ms);
+        match result {
+            Ok(_) => {
+                self.stats.attached += 1;
+                if self.cfg.relay {
+                    self.announce_to_ready(id, Some(from), now_ms);
+                }
+                self.resolve_waiters(id, now_ms);
+            }
+            Err(TangleError::Duplicate(_)) => self.stats.duplicates += 1,
+            Err(_) => self.stats.rejected += 1,
+        }
+    }
+
+    /// `satisfied` just became available (attached or adopted as pruned):
+    /// attach every pending descendant whose last missing parent it was,
+    /// cascading breadth-first.
+    fn resolve_waiters(&mut self, satisfied: TxId, now_ms: u64) {
+        let mut queue = vec![satisfied];
+        while let Some(done) = queue.pop() {
+            let Some(children) = self.waiters.remove(&done) else { continue };
+            for child in children {
+                let now_complete = match self.pending.get_mut(&child) {
+                    Some(p) => {
+                        p.missing.remove(&done);
+                        p.missing.is_empty()
+                    }
+                    None => false, // evicted meanwhile
+                };
+                if !now_complete {
+                    continue;
+                }
+                let p = self.pending.remove(&child).expect("checked above");
+                let result = self.tangle.lock().unwrap().attach(p.tx, p.attach_ms);
+                match result {
+                    Ok(_) => {
+                        self.stats.attached += 1;
+                        self.requested.remove(&child);
+                        if self.cfg.relay {
+                            self.announce_to_ready(child, None, now_ms);
+                        }
+                        queue.push(child);
+                    }
+                    Err(TangleError::Duplicate(_)) => self.stats.duplicates += 1,
+                    Err(_) => self.stats.rejected += 1,
+                }
+            }
+        }
+    }
+
+    /// Oldest-first eviction keeps the solidification queue bounded.
+    fn evict_if_full(&mut self) {
+        while self.pending.len() > self.cfg.max_pending {
+            let victim = self
+                .pending
+                .iter()
+                .min_by_key(|(_, p)| p.seq)
+                .map(|(id, _)| *id)
+                .expect("non-empty: len > cap >= 0");
+            let p = self.pending.remove(&victim).expect("just found");
+            for parent in p.missing {
+                if let Some(w) = self.waiters.get_mut(&parent) {
+                    w.retain(|c| *c != victim);
+                    if w.is_empty() {
+                        self.waiters.remove(&parent);
+                    }
+                }
+            }
+            self.stats.evicted += 1;
+        }
+    }
+
+    // --- Anti-entropy --------------------------------------------------------
+
+    fn run_anti_entropy(&mut self, now_ms: u64) {
+        let cold = self.is_cold();
+        for i in 0..self.peers.len() {
+            if !self.peer_ready(i) {
+                continue;
+            }
+            if cold {
+                self.send_to(i, &Message::GetBaseline, now_ms);
+            } else {
+                self.send_to(i, &Message::GetTips, now_ms);
+            }
+        }
+        // Re-request parents still missing whose last request went stale
+        // (e.g. the peer we asked died before answering).
+        let stale: Vec<TxId> = {
+            let mut set = BTreeSet::new();
+            for p in self.pending.values() {
+                for parent in &p.missing {
+                    if self.request_due(parent, now_ms) {
+                        set.insert(*parent);
+                    }
+                }
+            }
+            set.into_iter().collect()
+        };
+        for id in stale {
+            self.requested.insert(id, now_ms);
+            self.stats.requests_sent += 1;
+            for i in 0..self.peers.len() {
+                if self.peer_ready(i) {
+                    self.send_to(i, &Message::GetTx(id), now_ms);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::MemTransport;
+    use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
+
+    fn data_tx(n: u8, trunk: TxId, branch: TxId, ts: u64) -> Transaction {
+        TransactionBuilder::new(NodeId([n; 32]))
+            .parents(trunk, branch)
+            .payload(Payload::Data(vec![n, ts as u8]))
+            .timestamp_ms(ts)
+            .build()
+    }
+
+    /// A hand-driven fake peer: the test speaks raw wire frames.
+    struct FakePeer {
+        transport: MemTransport,
+    }
+
+    impl FakePeer {
+        fn send(&mut self, msg: &Message) {
+            use crate::transport::Transport;
+            self.transport.send(&encode_msg(msg)).unwrap();
+        }
+
+        fn drain(&mut self) -> Vec<Message> {
+            use crate::transport::Transport;
+            let mut out = Vec::new();
+            while let Ok(Some(f)) = self.transport.try_recv() {
+                out.push(decode_msg(&f).unwrap());
+            }
+            out
+        }
+
+        fn hello(genesis: Option<TxId>) -> Message {
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                genesis,
+                baseline: baseline_hash(genesis, &[]),
+            }
+        }
+    }
+
+    fn node_with_genesis() -> (GossipNode, TxId) {
+        let node = GossipNode::with_empty_tangle(GossipConfig::default());
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        (node, g)
+    }
+
+    fn wire_fake_peer(node: &mut GossipNode) -> FakePeer {
+        let (ours, theirs, _link) = MemTransport::pair();
+        node.add_transport(Box::new(ours), 0);
+        FakePeer { transport: theirs }
+    }
+
+    #[test]
+    fn handshake_then_local_attach_announces() {
+        let (mut node, g) = node_with_genesis();
+        let mut peer = wire_fake_peer(&mut node);
+        node.poll(0);
+        let msgs = peer.drain();
+        assert!(
+            matches!(msgs[0], Message::Hello { version: PROTOCOL_VERSION, .. }),
+            "first frame must be the handshake, got {msgs:?}"
+        );
+        peer.send(&FakePeer::hello(Some(g)));
+        node.poll(10);
+        assert_eq!(node.ready_peers(), 1);
+
+        let id = node.attach_local(data_tx(1, g, g, 20), 20).unwrap();
+        let msgs = peer.drain();
+        assert!(msgs.contains(&Message::Announce(id)), "got {msgs:?}");
+    }
+
+    #[test]
+    fn version_mismatch_demotes_peer() {
+        let (mut node, g) = node_with_genesis();
+        let mut peer = wire_fake_peer(&mut node);
+        peer.send(&Message::Hello {
+            version: PROTOCOL_VERSION + 1,
+            genesis: Some(g),
+            baseline: [0; 32],
+        });
+        node.poll(0);
+        assert_eq!(node.peer_info(0).state, PeerState::Dead);
+        assert_eq!(node.stats().incompatible, 1);
+    }
+
+    #[test]
+    fn genesis_mismatch_demotes_peer() {
+        let (mut node, _g) = node_with_genesis();
+        let mut peer = wire_fake_peer(&mut node);
+        peer.send(&FakePeer::hello(Some(TxId([0xBB; 32]))));
+        node.poll(0);
+        assert_eq!(node.peer_info(0).state, PeerState::Dead);
+    }
+
+    #[test]
+    fn out_of_order_arrival_solidifies_in_cascade() {
+        let (mut node, g) = node_with_genesis();
+        let mut peer = wire_fake_peer(&mut node);
+        peer.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        peer.drain();
+
+        // Build child → grandchild remotely; deliver grandchild FIRST.
+        let child = data_tx(1, g, g, 10);
+        let grand = data_tx(2, child.id(), child.id(), 20);
+        let grand_id = grand.id();
+        peer.send(&Message::TxPayload { attach_ms: 20, tx: grand });
+        node.poll(30);
+        assert_eq!(node.pending_len(), 1, "grandchild buffered");
+        let asks = peer.drain();
+        assert!(
+            asks.contains(&Message::GetTx(child.id())),
+            "missing parent must be requested, got {asks:?}"
+        );
+
+        peer.send(&Message::TxPayload { attach_ms: 10, tx: child.clone() });
+        node.poll(40);
+        assert_eq!(node.pending_len(), 0, "cascade drained the queue");
+        let t = node.tangle().lock().unwrap();
+        assert!(t.contains(&child.id()));
+        assert!(t.contains(&grand_id));
+        assert_eq!(t.tips(), vec![grand_id]);
+    }
+
+    #[test]
+    fn solidification_queue_evicts_oldest_when_full() {
+        let cfg = GossipConfig { max_pending: 3, ..GossipConfig::default() };
+        let mut node = GossipNode::new(
+            Arc::new(Mutex::new(Tangle::new())),
+            cfg,
+        );
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let mut peer = wire_fake_peer(&mut node);
+        peer.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        peer.drain();
+
+        // Five orphans, each waiting on a distinct unknown parent.
+        for n in 0..5u8 {
+            let phantom = TxId([0xF0 + n; 32]);
+            peer.send(&Message::TxPayload {
+                attach_ms: 10,
+                tx: data_tx(n, phantom, phantom, 10 + n as u64),
+            });
+        }
+        node.poll(20);
+        assert_eq!(node.pending_len(), 3, "bounded queue");
+        assert_eq!(node.stats().evicted, 2, "oldest two evicted");
+    }
+
+    #[test]
+    fn serves_gettx_and_tips() {
+        let (mut node, g) = node_with_genesis();
+        let id = node.attach_local(data_tx(1, g, g, 5), 5).unwrap();
+        let mut peer = wire_fake_peer(&mut node);
+        peer.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        peer.drain();
+
+        peer.send(&Message::GetTx(id));
+        peer.send(&Message::GetTips);
+        node.poll(10);
+        let msgs = peer.drain();
+        assert!(msgs.iter().any(
+            |m| matches!(m, Message::TxPayload { tx, .. } if tx.id() == id)
+        ));
+        assert!(msgs.contains(&Message::Tips(vec![id])));
+    }
+
+    #[test]
+    fn frames_before_hello_are_buffered_not_lost() {
+        let (mut node, g) = node_with_genesis();
+        let mut peer = wire_fake_peer(&mut node);
+        // Announce arrives before the handshake (a reordering transport
+        // can do this); it must be processed after Hello lands.
+        let child = data_tx(1, g, g, 10);
+        peer.send(&Message::TxPayload { attach_ms: 10, tx: child.clone() });
+        peer.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        assert!(node.tangle().lock().unwrap().contains(&child.id()));
+    }
+
+    #[test]
+    fn garbage_frame_drops_connection() {
+        let (mut node, _g) = node_with_genesis();
+        let mut peer = wire_fake_peer(&mut node);
+        use crate::transport::Transport;
+        peer.transport.send(&[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        node.poll(0);
+        assert_eq!(node.stats().invalid_frames, 1);
+        assert!(node.peers[0].conn.is_none());
+    }
+
+    #[test]
+    fn dead_peer_demoted_after_max_failures() {
+        use crate::transport::{FnConnector, TransportError};
+        let cfg = GossipConfig {
+            backoff_base_ms: 100,
+            backoff_max_ms: 800,
+            max_connect_failures: 4,
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let i = node.connect(Box::new(FnConnector(|| Err(TransportError::Closed))));
+        let mut now = 0u64;
+        let mut seen_backoffs = Vec::new();
+        for _ in 0..200 {
+            node.poll(now);
+            let info = node.peer_info(i);
+            if info.state == PeerState::Dead {
+                break;
+            }
+            seen_backoffs.push(info.backoff_ms);
+            now += 50;
+        }
+        assert_eq!(node.peer_info(i).state, PeerState::Dead);
+        // Exponential: 100, 200, 400, then capped at 800.
+        seen_backoffs.dedup();
+        assert_eq!(seen_backoffs, vec![100, 200, 400, 800]);
+        let dials_before_death = node.stats().disconnects;
+        node.poll(now + 10_000);
+        assert_eq!(node.stats().disconnects, dials_before_death, "dead peers are left alone");
+    }
+}

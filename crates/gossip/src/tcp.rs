@@ -1,0 +1,303 @@
+//! Real-socket transport over `std::net` TCP — plain blocking sockets
+//! switched to non-blocking mode and polled, so no async runtime is
+//! needed and the same poll-driven [`crate::node::GossipNode`] loop that
+//! drives in-memory tests drives production sockets.
+//!
+//! Framing on the wire is a 4-byte big-endian length prefix followed by
+//! one [`crate::wire`] message. The length is validated against
+//! [`MAX_FRAME_BYTES`] before any buffering, so a garbage peer cannot
+//! make us allocate unboundedly.
+
+use crate::transport::{Connector, Transport, TransportError};
+use crate::wire::MAX_FRAME_BYTES;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+fn to_transport_err(e: &io::Error) -> TransportError {
+    match e.kind() {
+        io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::UnexpectedEof => TransportError::Closed,
+        kind => TransportError::Io(kind),
+    }
+}
+
+/// A non-blocking, length-prefixed TCP connection.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    /// Unparsed inbound bytes (partial frames accumulate here).
+    rx: Vec<u8>,
+    /// Outbound bytes the socket has not accepted yet.
+    tx: Vec<u8>,
+    open: bool,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Dials `addr` (blocking connect, then non-blocking I/O).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an accepted or connected stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp:?".to_string());
+        Ok(Self { stream, rx: Vec::new(), tx: Vec::new(), open: true, peer })
+    }
+
+    /// Pushes queued outbound bytes into the socket without blocking.
+    fn flush_tx(&mut self) -> Result<(), TransportError> {
+        while !self.tx.is_empty() {
+            match self.stream.write(&self.tx) {
+                Ok(0) => {
+                    self.open = false;
+                    return Err(TransportError::Closed);
+                }
+                Ok(n) => {
+                    self.tx.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.open = false;
+                    return Err(to_transport_err(&e));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads whatever the socket has ready into the rx buffer.
+    fn fill_rx(&mut self) -> Result<(), TransportError> {
+        let mut buf = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.open = false;
+                    return Ok(()); // EOF; parsed frames still drain
+                }
+                Ok(n) => self.rx.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.open = false;
+                    return Err(to_transport_err(&e));
+                }
+            }
+        }
+    }
+
+    /// Extracts one complete frame from the rx buffer, if present.
+    fn pop_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if self.rx.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.rx[0], self.rx[1], self.rx[2], self.rx[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            self.open = false;
+            return Err(TransportError::TooLarge(len));
+        }
+        if self.rx.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.rx[4..4 + len].to_vec();
+        self.rx.drain(..4 + len);
+        Ok(Some(frame))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if !self.open {
+            return Err(TransportError::Closed);
+        }
+        if frame.len() > MAX_FRAME_BYTES {
+            return Err(TransportError::TooLarge(frame.len()));
+        }
+        self.tx.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        self.tx.extend_from_slice(frame);
+        self.flush_tx()
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if self.open {
+            self.flush_tx()?;
+            self.fill_rx()?;
+        }
+        if let Some(frame) = self.pop_frame()? {
+            return Ok(Some(frame));
+        }
+        if !self.open {
+            return Err(TransportError::Closed);
+        }
+        Ok(None)
+    }
+
+    fn is_open(&self) -> bool {
+        self.open
+    }
+
+    fn close(&mut self) {
+        self.open = false;
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn label(&self) -> String {
+        format!("tcp:{}", self.peer)
+    }
+}
+
+/// Accepts inbound gossip connections without blocking.
+#[derive(Debug)]
+pub struct TcpAcceptor {
+    listener: TcpListener,
+}
+
+impl TcpAcceptor {
+    /// Binds a listener (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener })
+    }
+
+    /// The bound address (for handing to peers in tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts one pending connection, if any. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures other than "nothing pending".
+    pub fn try_accept(&self) -> io::Result<Option<TcpTransport>> {
+        match self.listener.accept() {
+            Ok((stream, _)) => Ok(Some(TcpTransport::from_stream(stream)?)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Redials a fixed address — plug into
+/// [`crate::node::GossipNode::connect`] for reconnect-with-backoff.
+#[derive(Clone, Debug)]
+pub struct TcpConnector {
+    /// Address to dial.
+    pub addr: SocketAddr,
+}
+
+impl Connector for TcpConnector {
+    fn connect(&mut self) -> Result<Box<dyn Transport>, TransportError> {
+        match TcpTransport::connect(self.addr) {
+            Ok(t) => Ok(Box::new(t)),
+            Err(e) => Err(to_transport_err(&e)),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("tcp:{}", self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Polls `f` until it returns Some, with a hard wall-clock bound so a
+    /// regression hangs the test for seconds, not forever.
+    fn poll_until<T>(mut f: impl FnMut() -> Option<T>) -> T {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if let Some(v) = f() {
+                return v;
+            }
+            assert!(std::time::Instant::now() < deadline, "poll_until timed out");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn loopback_roundtrip_and_partial_frames() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let mut server = poll_until(|| acceptor.try_accept().unwrap());
+
+        // A frame big enough to straddle several reads.
+        let big = vec![0xABu8; 100_000];
+        client.send(&big).unwrap();
+        client.send(b"tail").unwrap();
+        let got = poll_until(|| server.try_recv().unwrap());
+        assert_eq!(got, big);
+        let tail = poll_until(|| server.try_recv().unwrap());
+        assert_eq!(tail, b"tail");
+
+        server.send(b"pong").unwrap();
+        let pong = poll_until(|| client.try_recv().unwrap());
+        assert_eq!(pong, b"pong");
+    }
+
+    #[test]
+    fn peer_shutdown_surfaces_as_closed() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let mut server = poll_until(|| acceptor.try_accept().unwrap());
+        client.send(b"bye").unwrap();
+        client.close();
+        let got = poll_until(|| server.try_recv().unwrap());
+        assert_eq!(got, b"bye");
+        let closed = poll_until(|| match server.try_recv() {
+            Err(TransportError::Closed) => Some(true),
+            Ok(None) => None,
+            other => panic!("unexpected: {other:?}"),
+        });
+        assert!(closed);
+        assert!(!server.is_open());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_fatal() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let raw = TcpStream::connect(addr).unwrap();
+        let mut server = poll_until(|| acceptor.try_accept().unwrap());
+        // Hand-write a frame header declaring 2 GiB.
+        let mut raw = raw;
+        raw.write_all(&(u32::MAX).to_be_bytes()).unwrap();
+        raw.flush().unwrap();
+        let err = poll_until(|| match server.try_recv() {
+            Err(e) => Some(e),
+            Ok(None) => None,
+            Ok(Some(f)) => panic!("got frame: {f:?}"),
+        });
+        assert!(matches!(err, TransportError::TooLarge(_)));
+        assert!(!server.is_open());
+    }
+}

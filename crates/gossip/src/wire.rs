@@ -1,0 +1,453 @@
+//! The gossip wire protocol: versioned, length-aware message encoding.
+//!
+//! One frame (as delivered by a [`crate::transport::Transport`]) carries
+//! exactly one message. The first byte is the message tag; the remainder
+//! is tag-specific. Transaction bodies reuse the checksummed
+//! [`biot_tangle::codec`] encoding, so a transaction that crossed a
+//! socket gets the same corruption detection as one read from disk.
+//!
+//! ```text
+//! tag 0  Hello      u16-BE protocol version, u8 has-genesis flag,
+//!                   [32-byte genesis id], 32-byte baseline hash
+//! tag 1  Announce   32-byte tx id
+//! tag 2  GetTx      32-byte tx id
+//! tag 3  TxPayload  varint attach_ms, varint len, codec-encoded tx
+//! tag 4  GetTips    (empty)
+//! tag 5  Tips       varint count, count × 32-byte tx ids
+//! tag 6  Heartbeat  varint sender clock (ms)
+//! tag 7  GetBaseline (empty)
+//! tag 8  Baseline   u8 has-genesis flag,
+//!                   [varint attach_ms, varint len, codec-encoded genesis],
+//!                   varint pruned count, count × 32-byte tx ids
+//! ```
+//!
+//! Varints are LEB128, identical to the tangle codec. Every declared
+//! count is validated against the remaining frame length **before** any
+//! allocation, mirroring the hardening in `tangle::codec`.
+
+use biot_crypto::sha256::sha256;
+use biot_tangle::codec::{decode_tx, encode_tx, CodecError};
+use biot_tangle::tx::{Transaction, TxId};
+use std::fmt;
+
+/// Version negotiated in [`Message::Hello`]; peers speaking a different
+/// version are refused.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard cap on one frame. Anything larger is a protocol violation — the
+/// TCP transport refuses to even buffer it.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Errors from decoding a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame ended before the message was complete.
+    UnexpectedEnd,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A varint ran past 10 bytes.
+    BadVarint,
+    /// A declared count/length exceeds the frame or the protocol cap.
+    BadLength(u64),
+    /// Bytes left over after a complete message.
+    TrailingBytes(usize),
+    /// The embedded transaction failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => write!(f, "unexpected end of frame"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadVarint => write!(f, "malformed varint"),
+            WireError::BadLength(n) => write!(f, "declared length {n} exceeds frame"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Codec(e) => write!(f, "embedded transaction corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// One gossip protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Handshake: first message on every connection, both directions.
+    Hello {
+        /// Speaker's protocol version (must match to proceed).
+        version: u16,
+        /// Speaker's genesis id, if it has one. Two peers with different
+        /// genesis ids are on different ledgers — incompatible.
+        genesis: Option<TxId>,
+        /// Hash of the speaker's baseline (genesis + pruned set); see
+        /// [`baseline_hash`]. Purely diagnostic — peers with matching
+        /// genesis but different pruning depth still sync.
+        baseline: [u8; 32],
+    },
+    /// "I hold this transaction" — sent after a local attach or relay.
+    Announce(TxId),
+    /// "Send me this transaction."
+    GetTx(TxId),
+    /// A full transaction plus the sender's attach time.
+    TxPayload {
+        /// Attach time on the sending replica (kept cluster-consistent so
+        /// snapshot pruning cutoffs agree).
+        attach_ms: u64,
+        /// The transaction itself.
+        tx: Transaction,
+    },
+    /// "Send me your current tip set" (anti-entropy probe).
+    GetTips,
+    /// The responder's current tips.
+    Tips(Vec<TxId>),
+    /// Liveness signal carrying the sender's clock.
+    Heartbeat(u64),
+    /// Cold-start request: "send me your genesis and pruned baseline."
+    GetBaseline,
+    /// Baseline for a cold-started peer: the genesis transaction (if
+    /// still stored) and the pruned-id set, which together make every
+    /// stored transaction's parents resolvable.
+    Baseline {
+        /// `(attach_ms, genesis transaction)` when the genesis is still
+        /// stored; `None` when it was itself pruned (its id is then in
+        /// `pruned`).
+        genesis: Option<(u64, Transaction)>,
+        /// Ids pruned by snapshots — known-confirmed ancestors.
+        pruned: Vec<TxId>,
+    },
+}
+
+/// Hash identifying a replica's baseline: SHA-256 over the genesis id (or
+/// 32 zero bytes) followed by the sorted pruned ids.
+pub fn baseline_hash(genesis: Option<TxId>, pruned_sorted: &[TxId]) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(32 * (pruned_sorted.len() + 1));
+    buf.extend_from_slice(&genesis.unwrap_or(TxId([0; 32])).0);
+    for id in pruned_sorted {
+        buf.extend_from_slice(&id.0);
+    }
+    sha256(&buf)
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.input.get(self.pos).ok_or(WireError::UnexpectedEnd)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::UnexpectedEnd)?;
+        let s = self.input.get(self.pos..end).ok_or(WireError::UnexpectedEnd)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn id(&mut self) -> Result<TxId, WireError> {
+        let mut out = [0u8; 32];
+        out.copy_from_slice(self.bytes(32)?);
+        Ok(TxId(out))
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut value = 0u64;
+        for i in 0..10 {
+            let byte = self.u8()?;
+            value |= ((byte & 0x7F) as u64) << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(WireError::BadVarint)
+    }
+
+    fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// A declared 32-byte-id count, bounds-checked against the remaining
+    /// frame before any allocation.
+    fn id_vec(&mut self) -> Result<Vec<TxId>, WireError> {
+        let n = self.varint()?;
+        if n > (self.remaining() / 32) as u64 {
+            return Err(WireError::BadLength(n));
+        }
+        let mut ids = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            ids.push(self.id()?);
+        }
+        Ok(ids)
+    }
+
+    /// A varint-length-prefixed, codec-encoded transaction.
+    fn tx(&mut self) -> Result<Transaction, WireError> {
+        let len = self.varint()?;
+        if len > self.remaining() as u64 {
+            return Err(WireError::BadLength(len));
+        }
+        Ok(decode_tx(self.bytes(len as usize)?)?)
+    }
+}
+
+fn put_tx(out: &mut Vec<u8>, tx: &Transaction) {
+    let body = encode_tx(tx);
+    put_varint(out, body.len() as u64);
+    out.extend_from_slice(&body);
+}
+
+/// Encodes a message into one frame.
+pub fn encode_msg(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        Message::Hello { version, genesis, baseline } => {
+            out.push(0);
+            out.extend_from_slice(&version.to_be_bytes());
+            match genesis {
+                Some(g) => {
+                    out.push(1);
+                    out.extend_from_slice(&g.0);
+                }
+                None => out.push(0),
+            }
+            out.extend_from_slice(baseline);
+        }
+        Message::Announce(id) => {
+            out.push(1);
+            out.extend_from_slice(&id.0);
+        }
+        Message::GetTx(id) => {
+            out.push(2);
+            out.extend_from_slice(&id.0);
+        }
+        Message::TxPayload { attach_ms, tx } => {
+            out.push(3);
+            put_varint(&mut out, *attach_ms);
+            put_tx(&mut out, tx);
+        }
+        Message::GetTips => out.push(4),
+        Message::Tips(ids) => {
+            out.push(5);
+            put_varint(&mut out, ids.len() as u64);
+            for id in ids {
+                out.extend_from_slice(&id.0);
+            }
+        }
+        Message::Heartbeat(now_ms) => {
+            out.push(6);
+            put_varint(&mut out, *now_ms);
+        }
+        Message::GetBaseline => out.push(7),
+        Message::Baseline { genesis, pruned } => {
+            out.push(8);
+            match genesis {
+                Some((attach_ms, tx)) => {
+                    out.push(1);
+                    put_varint(&mut out, *attach_ms);
+                    put_tx(&mut out, tx);
+                }
+                None => out.push(0),
+            }
+            put_varint(&mut out, pruned.len() as u64);
+            for id in pruned {
+                out.extend_from_slice(&id.0);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes one frame into a message, rejecting trailing bytes.
+///
+/// # Errors
+///
+/// Any [`WireError`]; adversarial input never panics or over-allocates.
+pub fn decode_msg(frame: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader { input: frame, pos: 0 };
+    let msg = match r.u8()? {
+        0 => {
+            let hi = r.u8()?;
+            let lo = r.u8()?;
+            let version = u16::from_be_bytes([hi, lo]);
+            let genesis = if r.u8()? != 0 { Some(r.id()?) } else { None };
+            let mut baseline = [0u8; 32];
+            baseline.copy_from_slice(r.bytes(32)?);
+            Message::Hello { version, genesis, baseline }
+        }
+        1 => Message::Announce(r.id()?),
+        2 => Message::GetTx(r.id()?),
+        3 => {
+            let attach_ms = r.varint()?;
+            Message::TxPayload { attach_ms, tx: r.tx()? }
+        }
+        4 => Message::GetTips,
+        5 => Message::Tips(r.id_vec()?),
+        6 => Message::Heartbeat(r.varint()?),
+        7 => Message::GetBaseline,
+        8 => {
+            let genesis = if r.u8()? != 0 {
+                let attach_ms = r.varint()?;
+                Some((attach_ms, r.tx()?))
+            } else {
+                None
+            };
+            Message::Baseline { genesis, pruned: r.id_vec()? }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
+    use proptest::prelude::*;
+
+    fn sample_tx(data: Vec<u8>) -> Transaction {
+        TransactionBuilder::new(NodeId([7; 32]))
+            .parents(TxId([1; 32]), TxId([2; 32]))
+            .payload(Payload::Data(data))
+            .timestamp_ms(42)
+            .signature(vec![9; 16])
+            .build()
+    }
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Hello { version: PROTOCOL_VERSION, genesis: None, baseline: [3; 32] },
+            Message::Hello {
+                version: 7,
+                genesis: Some(TxId([0xAA; 32])),
+                baseline: baseline_hash(Some(TxId([0xAA; 32])), &[TxId([1; 32])]),
+            },
+            Message::Announce(TxId([5; 32])),
+            Message::GetTx(TxId([6; 32])),
+            Message::TxPayload { attach_ms: 12_345, tx: sample_tx(b"reading".to_vec()) },
+            Message::GetTips,
+            Message::Tips(vec![]),
+            Message::Tips(vec![TxId([1; 32]), TxId([2; 32]), TxId([3; 32])]),
+            Message::Heartbeat(u64::MAX),
+            Message::GetBaseline,
+            Message::Baseline { genesis: None, pruned: vec![TxId([4; 32])] },
+            Message::Baseline {
+                genesis: Some((9, sample_tx(Vec::new()))),
+                pruned: (0..40u8).map(|i| TxId([i; 32])).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_message_kind() {
+        for msg in samples() {
+            let frame = encode_msg(&msg);
+            assert!(frame.len() <= MAX_FRAME_BYTES);
+            assert_eq!(decode_msg(&frame).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_always_errors() {
+        for msg in samples() {
+            let frame = encode_msg(&msg);
+            for n in 0..frame.len() {
+                assert!(decode_msg(&frame[..n]).is_err(), "{msg:?} cut to {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = encode_msg(&Message::GetTips);
+        frame.push(0);
+        assert_eq!(decode_msg(&frame), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert_eq!(decode_msg(&[200]), Err(WireError::BadTag(200)));
+        assert_eq!(decode_msg(&[]), Err(WireError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn forged_tip_count_is_capped() {
+        // Tips frame declaring u64::MAX ids with an empty body: the count
+        // check must fire before any allocation.
+        let mut frame = vec![5u8];
+        frame.extend_from_slice(&[0xFF; 9]);
+        frame.push(0x7F);
+        assert!(matches!(decode_msg(&frame), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn corrupt_embedded_tx_is_a_codec_error() {
+        let msg = Message::TxPayload { attach_ms: 1, tx: sample_tx(b"x".to_vec()) };
+        let mut frame = encode_msg(&msg);
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF; // inside the embedded tx checksum
+        assert!(matches!(decode_msg(&frame), Err(WireError::Codec(_))));
+    }
+
+    #[test]
+    fn baseline_hash_orders_and_distinguishes() {
+        let a = baseline_hash(Some(TxId([1; 32])), &[TxId([2; 32])]);
+        let b = baseline_hash(Some(TxId([1; 32])), &[TxId([3; 32])]);
+        let c = baseline_hash(None, &[TxId([2; 32])]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, baseline_hash(Some(TxId([1; 32])), &[TxId([2; 32])]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn prop_garbage_frames_never_panic(
+            garbage in proptest::collection::vec(any::<u8>(), 0..600),
+        ) {
+            let _ = decode_msg(&garbage);
+        }
+
+        #[test]
+        fn prop_bit_flips_never_panic(
+            data in proptest::collection::vec(any::<u8>(), 0..100),
+            byte_frac in 0u32..1000,
+            bit in 0u8..8,
+        ) {
+            // Flipped frames either decode to some other valid message or
+            // error — they never panic. (Unlike the tx codec there is no
+            // frame-level checksum; TCP and the tx-body checksum cover
+            // integrity.)
+            let msg = Message::TxPayload { attach_ms: 77, tx: sample_tx(data) };
+            let mut frame = encode_msg(&msg);
+            let idx = (byte_frac as usize * frame.len()) / 1000;
+            frame[idx] ^= 1 << bit;
+            let _ = decode_msg(&frame);
+        }
+    }
+}

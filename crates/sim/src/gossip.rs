@@ -1,0 +1,158 @@
+//! Gossip mirroring for simulation runs.
+//!
+//! When a [`crate::runner::NodeRunConfig`] enables gossip, the run's
+//! gateway records every accepted transaction in its broadcast outbox
+//! ([`biot_core::node::Gateway::take_broadcasts`]); a [`GossipMirror`]
+//! drains that outbox into a primary [`GossipNode`] and syncs it to a
+//! replica over a jittered in-memory link on the run's virtual clock.
+//! The run then reports whether the replica converged to the identical
+//! DAG — tips and cumulative weights — in its [`GossipSummary`].
+//!
+//! Everything is seeded and driven by virtual time, so gossip-enabled
+//! runs stay exactly as deterministic as plain ones.
+
+use biot_gossip::node::{GossipConfig, GossipNode};
+use biot_gossip::transport::{JitterTransport, MemTransport, VirtualClock};
+use biot_net::latency::UniformLatency;
+use biot_tangle::graph::Tangle;
+use biot_tangle::tx::Transaction;
+use serde::{Deserialize, Serialize};
+
+/// Gossip settings for a simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GossipSimConfig {
+    /// Uniform one-way link latency range `(min_ms, max_ms)`.
+    pub jitter_ms: (u64, u64),
+    /// Seed for the link jitter (independent of the run seed so the two
+    /// can be varied separately).
+    pub seed: u64,
+    /// Anti-entropy interval for both gossip nodes, ms.
+    pub anti_entropy_ms: u64,
+}
+
+impl Default for GossipSimConfig {
+    fn default() -> Self {
+        Self {
+            jitter_ms: (5, 60),
+            seed: 7,
+            anti_entropy_ms: 500,
+        }
+    }
+}
+
+/// What the gossip layer achieved during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipSummary {
+    /// Transactions held by the primary (mirror of the gateway ledger).
+    pub primary_len: usize,
+    /// Transactions the replica converged to.
+    pub replica_len: usize,
+    /// Replica tip set identical to the gateway's.
+    pub tips_match: bool,
+    /// Replica cumulative weights identical for every transaction.
+    pub weights_match: bool,
+    /// Gossip poll rounds executed (run + settle phases).
+    pub rounds: u64,
+    /// Outbox transactions the mirror failed to attach (always 0 in a
+    /// healthy run).
+    pub mirror_rejects: u64,
+}
+
+/// Drives a primary/replica gossip pair alongside a simulation run.
+#[derive(Debug)]
+pub struct GossipMirror {
+    primary: GossipNode,
+    replica: GossipNode,
+    clock: VirtualClock,
+    rounds: u64,
+    mirror_rejects: u64,
+}
+
+impl GossipMirror {
+    /// Builds the pair, joined by a jittered in-memory link.
+    pub fn new(cfg: &GossipSimConfig) -> Self {
+        let clock = VirtualClock::new();
+        let node_cfg = GossipConfig {
+            anti_entropy_ms: cfg.anti_entropy_ms,
+            ..GossipConfig::default()
+        };
+        let mut primary = GossipNode::with_empty_tangle(node_cfg.clone());
+        let mut replica = GossipNode::with_empty_tangle(node_cfg);
+        let (end_a, end_b, _link) = MemTransport::pair();
+        let model = UniformLatency::new(cfg.jitter_ms.0, cfg.jitter_ms.1);
+        primary.add_transport(
+            Box::new(JitterTransport::new(
+                Box::new(end_a),
+                Box::new(model),
+                cfg.seed,
+                clock.clone(),
+            )),
+            0,
+        );
+        replica.add_transport(
+            Box::new(JitterTransport::new(
+                Box::new(end_b),
+                Box::new(model),
+                cfg.seed ^ 0x5A5A_5A5A,
+                clock.clone(),
+            )),
+            0,
+        );
+        Self {
+            primary,
+            replica,
+            clock,
+            rounds: 0,
+            mirror_rejects: 0,
+        }
+    }
+
+    /// Mirrors freshly accepted gateway transactions onto the primary
+    /// (announcing them to the replica) and advances both nodes to
+    /// `now_ms`.
+    pub fn step(&mut self, broadcasts: Vec<Transaction>, now_ms: u64) {
+        self.clock.set(now_ms);
+        for tx in broadcasts {
+            if self.primary.attach_local(tx, now_ms).is_err() {
+                self.mirror_rejects += 1;
+            }
+        }
+        self.primary.poll(now_ms);
+        self.replica.poll(now_ms);
+        self.rounds += 1;
+    }
+
+    /// Lets in-flight gossip settle, then scores the replica against the
+    /// gateway's authoritative ledger.
+    pub fn finish(mut self, authoritative: &Tangle, mut now_ms: u64) -> GossipSummary {
+        let target = self.primary.tangle().lock().unwrap().len();
+        for _ in 0..20_000u32 {
+            let done = self.replica.tangle().lock().unwrap().len() == target
+                && self.replica.pending_len() == 0;
+            if done {
+                break;
+            }
+            now_ms += 25;
+            self.clock.set(now_ms);
+            self.primary.poll(now_ms);
+            self.replica.poll(now_ms);
+            self.rounds += 1;
+        }
+        let primary = self.primary.tangle().lock().unwrap();
+        let replica = self.replica.tangle().lock().unwrap();
+        let tips_match =
+            replica.tips() == authoritative.tips() && primary.tips() == authoritative.tips();
+        let weights_match = authoritative.iter().all(|tx| {
+            let id = tx.id();
+            replica.cumulative_weight(&id) == authoritative.cumulative_weight(&id)
+        });
+        GossipSummary {
+            primary_len: primary.len(),
+            replica_len: replica.len(),
+            tips_match,
+            weights_match,
+            rounds: self.rounds,
+            mirror_rejects: self.mirror_rejects,
+        }
+    }
+}

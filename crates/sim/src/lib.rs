@@ -41,6 +41,7 @@ pub mod attack;
 pub mod cluster;
 pub mod factory;
 pub mod fleet;
+pub mod gossip;
 pub mod pi;
 pub mod runner;
 pub mod throughput;

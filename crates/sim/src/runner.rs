@@ -7,6 +7,7 @@
 //! mining (difficulty is *self-adaptive*, §IV-B), which is what lets a
 //! punished node recover as its negative credit decays.
 
+use crate::gossip::{GossipMirror, GossipSimConfig, GossipSummary};
 use crate::pi::PiCalibration;
 use biot_core::difficulty::{DifficultyPolicy, FixedPolicy, InverseProportionalPolicy, LinearPolicy};
 use biot_core::identity::Account;
@@ -73,6 +74,9 @@ pub struct NodeRunConfig {
     /// Tip-selection strategy the gateway serves (default uniform — the
     /// historical behaviour, keeping seeded traces stable).
     pub selector: SelectorConfig,
+    /// Mirror the gateway's ledger to a gossip replica over a jittered
+    /// link during the run (default off). See [`crate::gossip`].
+    pub gossip: Option<GossipSimConfig>,
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
 }
@@ -88,6 +92,7 @@ impl Default for NodeRunConfig {
             reassess_ms: 250,
             verify: VerifyConfig::default(),
             selector: SelectorConfig::default(),
+            gossip: None,
             seed: 42,
         }
     }
@@ -137,6 +142,9 @@ pub struct RunResult {
     pub outcomes: Vec<TxOutcome>,
     /// Credit trace sampled once per second.
     pub samples: Vec<CreditSample>,
+    /// Gossip convergence report, when the run mirrored its ledger to a
+    /// replica ([`NodeRunConfig::gossip`]).
+    pub gossip: Option<GossipSummary>,
 }
 
 impl RunResult {
@@ -187,9 +195,11 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
         config.policy.to_boxed(),
         GatewayConfig {
             tip_selector: config.selector,
+            record_broadcasts: config.gossip.is_some(),
             ..GatewayConfig::default()
         },
     );
+    let mut gossip = config.gossip.as_ref().map(GossipMirror::new);
     gateway.set_verify_config(config.verify);
     let genesis = gateway.init_genesis(SimTime::ZERO);
     let device = LightNode::new(Account::generate(&mut rng));
@@ -273,6 +283,9 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
             final_weight: 0,
         });
 
+        if let Some(mirror) = gossip.as_mut() {
+            mirror.step(gateway.take_broadcasts(), now.as_millis());
+        }
         now += config.think_time_ms;
     }
 
@@ -300,7 +313,13 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
         t += 1_000;
     }
 
-    RunResult { outcomes, samples }
+    // Let in-flight gossip settle and score the replica.
+    let gossip = gossip.map(|mut mirror| {
+        mirror.step(gateway.take_broadcasts(), duration_ms);
+        mirror.finish(gateway.tangle(), duration_ms)
+    });
+
+    RunResult { outcomes, samples, gossip }
 }
 
 /// Simulates mining with periodic difficulty reassessment.
@@ -461,6 +480,30 @@ mod tests {
         assert!(
             a.avg_pow_secs() != c.avg_pow_secs() || a.accepted_count() != c.accepted_count()
         );
+    }
+
+    #[test]
+    fn gossip_mirror_converges_and_is_deterministic() {
+        let cfg = NodeRunConfig {
+            gossip: Some(GossipSimConfig::default()),
+            ..quick_config()
+        };
+        let first = run_single_node(&cfg);
+        let summary = first.gossip.expect("gossip summary present");
+        assert!(summary.replica_len >= 10, "{summary:?}");
+        assert_eq!(summary.replica_len, summary.primary_len, "{summary:?}");
+        assert!(summary.tips_match, "{summary:?}");
+        assert!(summary.weights_match, "{summary:?}");
+        assert_eq!(summary.mirror_rejects, 0, "{summary:?}");
+
+        // Same seeds → identical gossip trace.
+        let second = run_single_node(&cfg);
+        assert_eq!(second.gossip, Some(summary));
+
+        // The mirror must not perturb the simulation itself.
+        let plain = run_single_node(&quick_config());
+        assert_eq!(plain.accepted_count(), first.accepted_count());
+        assert_eq!(plain.avg_pow_secs(), first.avg_pow_secs());
     }
 
     #[test]

@@ -257,7 +257,12 @@ impl LedgerStore {
                     let Some(len) = read_varint(&data, &mut pos) else {
                         break;
                     };
-                    let end = pos + len as usize;
+                    // Checked arithmetic: a torn or corrupt length varint
+                    // can decode to any u64; it must never overflow into a
+                    // bogus in-bounds `end`.
+                    let Some(end) = pos.checked_add(len as usize) else {
+                        break; // torn tail
+                    };
                     if end > data.len() {
                         break; // torn tail
                     }
@@ -304,7 +309,9 @@ impl LedgerStore {
             pos += 1;
             let len =
                 read_varint(&data, &mut pos).ok_or(StoreError::CorruptSnapshot("tx length"))?;
-            let end = pos + len as usize;
+            let end = pos
+                .checked_add(len as usize)
+                .ok_or(StoreError::CorruptSnapshot("tx length"))?;
             if end > data.len() {
                 return Err(StoreError::CorruptSnapshot("tx body"));
             }
@@ -449,6 +456,43 @@ mod tests {
         let recovered = LedgerStore::open(&dir.0).unwrap().recover().unwrap().unwrap();
         // One transaction lost (the torn one), everything earlier intact.
         assert_eq!(recovered.len(), tangle.len() - 1);
+    }
+
+    #[test]
+    fn torn_tail_recovers_valid_prefix_at_every_byte_offset() {
+        // Crash-consistency sweep: whatever byte the power died on while
+        // the *last* record was being appended, recovery must keep every
+        // complete earlier record and silently drop the torn tail.
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        let genesis = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let genesis_tx = tangle.get(&genesis).unwrap().clone();
+        store.append(&genesis_tx, 0).unwrap();
+        grow(&mut tangle, &mut store, 3, 10);
+
+        let wal_path = dir.0.join("wal.biot");
+        let before_last = fs::metadata(&wal_path).unwrap().len() as usize;
+        grow(&mut tangle, &mut store, 1, 50);
+        let full = fs::read(&wal_path).unwrap();
+        assert!(full.len() > before_last, "last record must add bytes");
+
+        for cut in before_last..full.len() {
+            fs::write(&wal_path, &full[..cut]).unwrap();
+            let recovered = LedgerStore::open(&dir.0)
+                .unwrap()
+                .recover()
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"))
+                .expect("prefix state survives");
+            // Everything before the last record is intact; the torn
+            // record itself is gone.
+            assert_eq!(recovered.len(), tangle.len() - 1, "cut at byte {cut}");
+        }
+        // And the untruncated log still recovers everything.
+        fs::write(&wal_path, &full).unwrap();
+        let recovered = LedgerStore::open(&dir.0).unwrap().recover().unwrap().unwrap();
+        assert_eq!(recovered.len(), tangle.len());
+        assert_eq!(recovered.tips(), tangle.tips());
     }
 
     #[test]

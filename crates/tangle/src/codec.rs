@@ -23,6 +23,13 @@ use std::fmt;
 /// Current format version.
 pub const VERSION: u8 = 1;
 
+/// Hard cap on any single declared field length (payload bytes, signature
+/// bytes, auth-list device count). Checked **before** any allocation, so a
+/// forged length in adversarial input — e.g. bytes arriving from a gossip
+/// socket — can never drive `Vec::with_capacity` beyond this bound even if
+/// the declared length happens to pass the structural checks.
+pub const MAX_FIELD_BYTES: u64 = 1 << 24;
+
 /// Errors from decoding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CodecError {
@@ -146,7 +153,9 @@ impl<'a> Reader<'a> {
 
     fn len_prefixed(&mut self) -> Result<&'a [u8], CodecError> {
         let n = self.varint()?;
-        if n as usize > self.input.len() - self.pos {
+        // Cap first: `n as usize` must never feed an allocation or index
+        // computation before this bound check (adversarial-input hardening).
+        if n > MAX_FIELD_BYTES || n as usize > self.input.len() - self.pos {
             return Err(CodecError::BadLength(n));
         }
         self.bytes(n as usize)
@@ -251,7 +260,7 @@ pub fn decode_tx(input: &[u8]) -> Result<Transaction, CodecError> {
         },
         3 => {
             let n = r.varint()?;
-            if n > (r.remaining() / 32) as u64 {
+            if n > MAX_FIELD_BYTES || n > (r.remaining() / 32) as u64 {
                 return Err(CodecError::BadLength(n));
             }
             let mut devices = Vec::with_capacity(n as usize);
@@ -435,6 +444,99 @@ mod tests {
             // Decoding arbitrary input must return an error or a valid
             // transaction, never panic.
             let _ = decode_tx(&garbage);
+        }
+
+        #[test]
+        fn prop_truncated_encoding_always_errors(
+            data in proptest::collection::vec(any::<u8>(), 0..200),
+            sig in proptest::collection::vec(any::<u8>(), 0..80),
+            cut_frac in 0u32..1000,
+        ) {
+            // Any strict prefix of a valid encoding must come back as a
+            // CodecError — never a panic, never a transaction.
+            let tx = TransactionBuilder::new(NodeId([7; 32]))
+                .parents(TxId([1; 32]), TxId([2; 32]))
+                .payload(Payload::Data(data))
+                .timestamp_ms(123)
+                .signature(sig)
+                .build();
+            let wire = encode_tx(&tx);
+            let cut = (cut_frac as usize * wire.len()) / 1000; // < wire.len()
+            prop_assert!(decode_tx(&wire[..cut]).is_err(), "truncation to {} bytes", cut);
+        }
+
+        #[test]
+        fn prop_bit_flip_always_errors(
+            payload_kind in 0u8..4,
+            data in proptest::collection::vec(any::<u8>(), 0..120),
+            byte_frac in 0u32..1000,
+            bit in 0u8..8,
+        ) {
+            // A single flipped bit anywhere in the encoding must be
+            // rejected (the trailing checksum covers every body byte, and
+            // a flip inside the checksum itself mismatches the body).
+            let payload = match payload_kind {
+                0 => Payload::Data(data),
+                1 => Payload::EncryptedData { iv: [9; 16], ciphertext: data },
+                2 => Payload::Spend { token: [5; 32], to: NodeId([6; 32]) },
+                _ => Payload::AuthList {
+                    devices: vec![NodeId([1; 32]); data.len() % 5],
+                    signature: data,
+                },
+            };
+            let tx = sample(payload);
+            let mut wire = encode_tx(&tx);
+            let idx = (byte_frac as usize * wire.len()) / 1000;
+            wire[idx] ^= 1 << bit;
+            prop_assert!(decode_tx(&wire).is_err(), "flip at byte {} bit {}", idx, bit);
+        }
+    }
+
+    /// Re-stamps the 4-byte trailing checksum over `body` and returns the
+    /// full adversarial encoding — lets tests forge structurally invalid
+    /// bodies that still pass the checksum gate.
+    fn with_valid_checksum(body: &[u8]) -> Vec<u8> {
+        let mut out = body.to_vec();
+        let sum = sha256(body);
+        out.extend_from_slice(&sum[..4]);
+        out
+    }
+
+    #[test]
+    fn forged_huge_data_length_is_capped_before_allocation() {
+        // version, tag 0 (Data), headers, then a varint declaring a
+        // ~u64::MAX-byte payload. The checksum is valid, so parsing
+        // proceeds — and must stop at the length cap without allocating.
+        let mut body = vec![VERSION, 0];
+        body.extend_from_slice(&[7u8; 32]); // issuer
+        body.extend_from_slice(&[1u8; 32]); // trunk
+        body.extend_from_slice(&[2u8; 32]); // branch
+        body.push(0); // timestamp varint
+        body.push(0); // nonce varint
+        body.extend_from_slice(&[0xFF; 9]); // varint continuation bytes…
+        body.push(0x7F); // …terminated: a huge declared length
+        let wire = with_valid_checksum(&body);
+        match decode_tx(&wire) {
+            Err(CodecError::BadLength(n)) => assert!(n > MAX_FIELD_BYTES),
+            other => panic!("expected BadLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forged_huge_device_count_is_capped_before_allocation() {
+        // Same attack through the AuthList device-count varint.
+        let mut body = vec![VERSION, 3];
+        body.extend_from_slice(&[7u8; 32]);
+        body.extend_from_slice(&[1u8; 32]);
+        body.extend_from_slice(&[2u8; 32]);
+        body.push(0);
+        body.push(0);
+        body.extend_from_slice(&[0xFF; 9]);
+        body.push(0x7F); // device count ≈ u64::MAX
+        let wire = with_valid_checksum(&body);
+        match decode_tx(&wire) {
+            Err(CodecError::BadLength(n)) => assert!(n > MAX_FIELD_BYTES),
+            other => panic!("expected BadLength, got {other:?}"),
         }
     }
 }

@@ -485,16 +485,26 @@ impl Tangle {
         self.pruned.contains(id)
     }
 
-    /// All pruned ids, sorted (for snapshot capture).
-    pub(crate) fn pruned_ids(&self) -> Vec<TxId> {
+    /// All pruned ids, sorted (for snapshot capture and peer baseline
+    /// exchange).
+    pub fn pruned_ids(&self) -> Vec<TxId> {
         let mut v: Vec<TxId> = self.pruned.iter().copied().collect();
         v.sort();
         v
     }
 
+    /// Adopts ids as pruned-known ancestors. Used when restoring a
+    /// snapshot and when a cold-started replica receives an established
+    /// peer's baseline: transactions referencing these ids as parents
+    /// attach normally, exactly as they would on the peer that pruned
+    /// them.
+    pub fn adopt_pruned(&mut self, ids: impl IntoIterator<Item = TxId>) {
+        self.pruned.extend(ids);
+    }
+
     /// Marks ids as pruned-known ancestors (snapshot restore only).
     pub(crate) fn mark_pruned(&mut self, ids: impl IntoIterator<Item = TxId>) {
-        self.pruned.extend(ids);
+        self.adopt_pruned(ids);
     }
 
     /// Restores confirmation flags (snapshot restore only).

@@ -11,6 +11,8 @@
 //! * [`tangle`] (`biot-tangle`) — the DAG-structured ledger.
 //! * [`chain`] (`biot-chain`) — the satoshi-style baseline.
 //! * [`net`] (`biot-net`) — the discrete-event network simulator.
+//! * [`gossip`] (`biot-gossip`) — peer-to-peer tangle synchronization
+//!   over in-memory or real TCP transports.
 //! * [`core`] (`biot-core`) — credit-based PoW, device management, data
 //!   authority management, node roles.
 //! * [`sim`] (`biot-sim`) — Pi calibration, workloads, attack and
@@ -26,6 +28,7 @@
 pub use biot_chain as chain;
 pub use biot_core as core;
 pub use biot_crypto as crypto;
+pub use biot_gossip as gossip;
 pub use biot_net as net;
 pub use biot_sim as sim;
 pub use biot_store as store;
