@@ -89,6 +89,10 @@ fn bench_credit_computation(c: &mut Criterion) {
     c.bench_function("credit_of_1000_records", |b| {
         b.iter(|| reg.credit_of(node, now))
     });
+    // The exact Eqn 2–5 rescan the incremental path is checked against.
+    c.bench_function("credit_of_1000_records_recount", |b| {
+        b.iter(|| reg.credit_of_recount(node, now))
+    });
 }
 
 criterion_group!(

@@ -1,0 +1,202 @@
+//! Emits `results/BENCH_credit.json`: credit-query throughput
+//! (queries per second) over 10k- and 100k-event histories, the
+//! event-sourced [`CreditLedger`]'s incremental path vs a faithful copy
+//! of the pre-refactor full-scan registry.
+//!
+//! Run with: `cargo run -p biot-bench --release --bin credit_report`
+//!
+//! Histories are generated batch-style — several validations per node
+//! share one virtual instant, like a gateway `submit_batch` — so the
+//! report also shows the same-instant dedup: `records` (what the ledger
+//! stores) vs `events` (what it was fed).
+
+use biot_credit::{CreditEvent, CreditLedger, CreditParams, Misbehavior};
+use biot_net::time::SimTime;
+use biot_tangle::tx::NodeId;
+use std::fs;
+use std::io::Write;
+use std::time::Instant;
+
+const NODES: usize = 8;
+/// Events sharing one virtual instant (a gateway batch): ten
+/// validations per node per instant across the eight nodes.
+const BATCH: u64 = 80;
+/// One misbehaviour every this many events, so CrN stays exercised but
+/// cheap (as in a real run, where misbehaviour is rare).
+const MIS_EVERY: u64 = 1_000;
+
+fn node(i: usize) -> NodeId {
+    NodeId([(i % NODES) as u8; 32])
+}
+
+/// A batchy event history: `n` events across [`NODES`] nodes, timestamps
+/// advancing 100 ms per batch.
+fn history(n: u64) -> Vec<CreditEvent> {
+    (0..n)
+        .map(|i| {
+            let at = SimTime::from_millis((i / BATCH) * 100);
+            let who = node(i as usize);
+            if i % MIS_EVERY == MIS_EVERY - 1 {
+                CreditEvent::misbehaved(who, Misbehavior::LazyTips, at)
+            } else {
+                CreditEvent::validated(who, 1.0, at)
+            }
+        })
+        .collect()
+}
+
+/// The pre-refactor credit registry, kept verbatim as the baseline: one
+/// flat record list per node, every query a full history scan.
+struct ScanRegistry {
+    params: CreditParams,
+    tx: Vec<Vec<(SimTime, f64)>>,
+    mis: Vec<Vec<(SimTime, Misbehavior)>>,
+}
+
+impl ScanRegistry {
+    fn from_events(params: CreditParams, events: &[CreditEvent]) -> Self {
+        let mut reg = Self {
+            params,
+            tx: vec![Vec::new(); NODES],
+            mis: vec![Vec::new(); NODES],
+        };
+        for ev in events {
+            let slot = ev.node().0[0] as usize;
+            match *ev {
+                CreditEvent::Validated { weight, at, .. } => reg.tx[slot].push((at, weight)),
+                CreditEvent::Misbehaved { kind, at, .. } => reg.mis[slot].push((at, kind)),
+            }
+        }
+        reg
+    }
+
+    fn credit_of(&self, slot: usize, now: SimTime) -> f64 {
+        let p = &self.params;
+        let delta_t_secs = p.delta_t_ms as f64 / 1000.0;
+        let cutoff = now.as_millis().saturating_sub(p.delta_t_ms);
+        let crp = self.tx[slot]
+            .iter()
+            .filter(|(at, _)| at.as_millis() >= cutoff && *at <= now)
+            .map(|(_, w)| w)
+            .sum::<f64>()
+            / delta_t_secs;
+        let crn = -self.mis[slot]
+            .iter()
+            .filter(|(at, _)| *at <= now)
+            .map(|(at, kind)| {
+                let elapsed_ms = now.millis_since(*at).max(p.min_elapsed_ms);
+                let elapsed_secs = elapsed_ms as f64 / 1000.0;
+                p.alpha(*kind) * delta_t_secs / elapsed_secs
+            })
+            .sum::<f64>();
+        p.lambda1 * crp + p.lambda2 * crn
+    }
+}
+
+/// Queries per second: runs `query` repeatedly for ~`budget_s` of wall
+/// clock (at least 3 reps) and divides.
+fn queries_per_sec(mut query: impl FnMut(u64), budget_s: f64) -> f64 {
+    let start = Instant::now();
+    let mut reps = 0u64;
+    while reps < 3 || start.elapsed().as_secs_f64() < budget_s {
+        query(reps);
+        reps += 1;
+    }
+    reps as f64 / start.elapsed().as_secs_f64()
+}
+
+struct Row {
+    events: u64,
+    records: usize,
+    scan_per_sec: f64,
+    incr_per_sec: f64,
+}
+
+fn main() -> std::io::Result<()> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host cores: {cores}");
+
+    let params = CreditParams::default();
+    let mut rows = Vec::new();
+    for n in [10_000u64, 100_000] {
+        let events = history(n);
+        let ledger = CreditLedger::from_events(params, &events);
+        let scan = ScanRegistry::from_events(params, &events);
+        let records: usize = (0..NODES)
+            .map(|i| ledger.tx_record_count(node(i)) + ledger.misbehavior_count(node(i)))
+            .sum();
+        let t_end = (n / BATCH) * 100;
+
+        // Sweep the probe time across the run (and past it) so windowing,
+        // not caching, is what's measured; consistency is asserted on the
+        // way (same Eqns, so identical answers).
+        let probe = |j: u64| {
+            let slot = (j % NODES as u64) as usize;
+            let now = SimTime::from_millis((j * 7_919) % (t_end + p_window(params)));
+            (slot, now)
+        };
+        let incr_per_sec = queries_per_sec(
+            |j| {
+                let (slot, now) = probe(j);
+                std::hint::black_box(ledger.credit_of(node(slot), now));
+            },
+            0.4,
+        );
+        let scan_per_sec = queries_per_sec(
+            |j| {
+                let (slot, now) = probe(j);
+                std::hint::black_box(scan.credit_of(slot, now));
+            },
+            0.4,
+        );
+        for j in 0..64 {
+            let (slot, now) = probe(j);
+            let a = ledger.credit_of(node(slot), now).combined;
+            let b = scan.credit_of(slot, now);
+            assert_eq!(a, b, "ledger and scan baseline disagree at j={j}");
+        }
+
+        println!(
+            "events={n:>7} records={records:>6} ({:>4.1}x dedup)  scan {scan_per_sec:>10.0}/s -> \
+             incremental {incr_per_sec:>12.0}/s ({:>7.1}x)",
+            n as f64 / records as f64,
+            incr_per_sec / scan_per_sec.max(1e-9),
+        );
+        rows.push(Row { events: n, records, scan_per_sec, incr_per_sec });
+    }
+
+    fs::create_dir_all("results")?;
+    let mut f = fs::File::create("results/BENCH_credit.json")?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"host_cores\": {cores},")?;
+    writeln!(f, "  \"nodes\": {NODES},")?;
+    writeln!(f, "  \"batch\": {BATCH},")?;
+    writeln!(f, "  \"histories\": [")?;
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"events\": {}, \"records_after_dedup\": {}, \"dedup_ratio\": {:.1}, \
+                 \"scan_per_sec\": {:.1}, \"incremental_per_sec\": {:.1}, \"speedup\": {:.1}}}",
+                r.events,
+                r.records,
+                r.events as f64 / r.records as f64,
+                r.scan_per_sec,
+                r.incr_per_sec,
+                r.incr_per_sec / r.scan_per_sec.max(1e-9),
+            )
+        })
+        .collect();
+    writeln!(f, "{}", body.join(",\n"))?;
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    println!("wrote results/BENCH_credit.json");
+    Ok(())
+}
+
+/// Probe times extend one window past the end of the history.
+fn p_window(p: CreditParams) -> u64 {
+    p.delta_t_ms
+}

@@ -1,386 +1,23 @@
-//! The credit model (paper §IV-B, Eqns 2–5).
+//! The credit model (paper §IV-B, Eqns 2–5) — re-exported from
+//! [`biot_credit`].
 //!
-//! Each node `i` carries a credit value
+//! The model moved out of `biot-core` into its own event-sourced crate so
+//! that persistence (`biot-store`), replication (`biot-gossip`), and the
+//! experiment layers all consume one definition of credit. This module
+//! keeps the old `biot_core::credit::*` paths working.
 //!
-//! ```text
-//! Cr_i = λ1·CrP_i + λ2·CrN_i                       (Eqn 2)
-//! CrP_i = Σ_{k=1..n_i} w_k / ΔT                    (Eqn 3)
-//! CrN_i = − Σ_{k=1..m_i} α(B_k) · ΔT / (t − t_k)   (Eqn 4)
-//! α(B)  = α_l for lazy tips, α_d for double-spend  (Eqn 5)
-//! ```
-//!
-//! The positive part rewards *recent* validated activity (only
-//! transactions inside the latest ΔT window count), so inactive nodes
-//! drift back to zero. The negative part decays hyperbolically but never
-//! reaches zero — misbehaviour is never fully forgotten.
-//!
-//! Credit is a pure function of on-ledger facts (transaction weights and
-//! detected misbehaviour), so it "cannot be forged or tampered" (§IV-B).
+//! * [`CreditEvent`] — the append-only facts (validated weight,
+//!   misbehaviour) that credit is a pure function of.
+//! * [`CreditLedger`] — the projection: incremental `credit_of` plus the
+//!   naive `credit_of_recount` oracle.
+//! * [`CreditParams`] / [`Misbehavior`] / [`CreditBreakdown`] — unchanged.
 
-use biot_net::time::SimTime;
-use biot_tangle::tx::NodeId;
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+pub use biot_credit::event::{decode_event, encode_event, CreditCodecError};
+pub use biot_credit::{CreditBreakdown, CreditEvent, CreditLedger, CreditParams, Misbehavior};
 
-/// Which misbehaviour was detected (Eqn 5's `B`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Misbehavior {
-    /// Approving stale tips instead of fresh ones (§III "lazy tips").
-    LazyTips,
-    /// Attempting to spend the same token twice (§III).
-    DoubleSpend,
-}
-
-/// Tunable parameters of the credit model.
-///
-/// Defaults are the paper's (§VI-A): λ1 = 1, λ2 = 0.5, ΔT = 30 s,
-/// α_l = 0.5, α_d = 1.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct CreditParams {
-    /// Weight of the positive component (λ1).
-    pub lambda1: f64,
-    /// Weight of the negative component (λ2).
-    pub lambda2: f64,
-    /// The unit of time ΔT, in virtual milliseconds.
-    pub delta_t_ms: u64,
-    /// Punishment coefficient for lazy tips (α_l).
-    pub alpha_lazy: f64,
-    /// Punishment coefficient for double-spending (α_d).
-    pub alpha_double_spend: f64,
-    /// Floor for `t − t_k` in Eqn 4 (ms), preventing division by zero the
-    /// instant a misbehaviour is recorded.
-    pub min_elapsed_ms: u64,
-}
-
-impl Default for CreditParams {
-    fn default() -> Self {
-        Self {
-            lambda1: 1.0,
-            lambda2: 0.5,
-            delta_t_ms: 30_000,
-            alpha_lazy: 0.5,
-            alpha_double_spend: 1.0,
-            min_elapsed_ms: 100,
-        }
-    }
-}
-
-impl CreditParams {
-    /// The punishment coefficient α(B) for a misbehaviour (Eqn 5).
-    pub fn alpha(&self, b: Misbehavior) -> f64 {
-        match b {
-            Misbehavior::LazyTips => self.alpha_lazy,
-            Misbehavior::DoubleSpend => self.alpha_double_spend,
-        }
-    }
-}
-
-/// A validated transaction contributing to CrP.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-struct TxRecord {
-    at: SimTime,
-    weight: f64,
-}
-
-/// A detected misbehaviour contributing to CrN.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-struct MisbehaviorRecord {
-    at: SimTime,
-    kind: Misbehavior,
-}
-
-/// Per-node behaviour history.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
-struct NodeHistory {
-    txs: Vec<TxRecord>,
-    misbehaviors: Vec<MisbehaviorRecord>,
-}
-
-/// A credit snapshot: the two components and the combined value (Eqn 2).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct CreditBreakdown {
-    /// CrP (Eqn 3).
-    pub positive: f64,
-    /// CrN (Eqn 4), ≤ 0.
-    pub negative: f64,
-    /// Cr = λ1·CrP + λ2·CrN.
-    pub combined: f64,
-}
-
-/// Tracks behaviour and computes credit for every node.
-///
-/// # Examples
-///
-/// ```
-/// use biot_core::credit::{CreditParams, CreditRegistry, Misbehavior};
-/// use biot_net::time::SimTime;
-/// use biot_tangle::tx::NodeId;
-///
-/// let mut reg = CreditRegistry::new(CreditParams::default());
-/// let node = NodeId([1; 32]);
-/// reg.record_transaction(node, 2.0, SimTime::from_secs(1));
-/// let good = reg.credit_of(node, SimTime::from_secs(2)).combined;
-/// reg.record_misbehavior(node, Misbehavior::DoubleSpend, SimTime::from_secs(3));
-/// let bad = reg.credit_of(node, SimTime::from_secs(4)).combined;
-/// assert!(bad < good);
-/// ```
-#[derive(Clone, Debug, Default)]
-pub struct CreditRegistry {
-    params: CreditParams,
-    nodes: HashMap<NodeId, NodeHistory>,
-}
-
-impl CreditRegistry {
-    /// Creates a registry with the given parameters.
-    pub fn new(params: CreditParams) -> Self {
-        Self {
-            params,
-            nodes: HashMap::new(),
-        }
-    }
-
-    /// The parameters in force.
-    pub fn params(&self) -> &CreditParams {
-        &self.params
-    }
-
-    /// Records a validated transaction of `weight` issued by `node` at
-    /// `at`. Weight is the number of validations the transaction has (the
-    /// tangle's cumulative-weight metric); callers typically record weight
-    /// 1 at attach time and may re-record as weight accumulates.
-    pub fn record_transaction(&mut self, node: NodeId, weight: f64, at: SimTime) {
-        self.nodes
-            .entry(node)
-            .or_default()
-            .txs
-            .push(TxRecord { at, weight });
-    }
-
-    /// Records a detected misbehaviour by `node` at `at`.
-    pub fn record_misbehavior(&mut self, node: NodeId, kind: Misbehavior, at: SimTime) {
-        self.nodes
-            .entry(node)
-            .or_default()
-            .misbehaviors
-            .push(MisbehaviorRecord { at, kind });
-    }
-
-    /// Number of misbehaviours on record for `node`.
-    pub fn misbehavior_count(&self, node: NodeId) -> usize {
-        self.nodes
-            .get(&node)
-            .map(|h| h.misbehaviors.len())
-            .unwrap_or(0)
-    }
-
-    /// Computes CrP at `now` (Eqn 3): transactions inside the latest ΔT
-    /// window, weights summed, divided by ΔT in seconds.
-    ///
-    /// An inactive node (no transactions in the window) scores 0 — the
-    /// paper treats it as "not yet trusted" rather than negative.
-    pub fn positive_credit(&self, node: NodeId, now: SimTime) -> f64 {
-        let Some(history) = self.nodes.get(&node) else {
-            return 0.0;
-        };
-        let window_start = now.as_millis().saturating_sub(self.params.delta_t_ms);
-        let delta_t_secs = self.params.delta_t_ms as f64 / 1000.0;
-        history
-            .txs
-            .iter()
-            .filter(|r| r.at.as_millis() >= window_start && r.at <= now)
-            .map(|r| r.weight)
-            .sum::<f64>()
-            / delta_t_secs
-    }
-
-    /// Computes CrN at `now` (Eqn 4): each misbehaviour contributes
-    /// `−α(B)·ΔT/(t − t_k)`, with elapsed time floored at
-    /// [`CreditParams::min_elapsed_ms`]. The contribution decays but never
-    /// disappears.
-    pub fn negative_credit(&self, node: NodeId, now: SimTime) -> f64 {
-        let Some(history) = self.nodes.get(&node) else {
-            return 0.0;
-        };
-        let delta_t_secs = self.params.delta_t_ms as f64 / 1000.0;
-        -history
-            .misbehaviors
-            .iter()
-            .filter(|r| r.at <= now)
-            .map(|r| {
-                let elapsed_ms = now.millis_since(r.at).max(self.params.min_elapsed_ms);
-                let elapsed_secs = elapsed_ms as f64 / 1000.0;
-                self.params.alpha(r.kind) * delta_t_secs / elapsed_secs
-            })
-            .sum::<f64>()
-    }
-
-    /// Computes the full credit breakdown at `now` (Eqn 2).
-    pub fn credit_of(&self, node: NodeId, now: SimTime) -> CreditBreakdown {
-        let positive = self.positive_credit(node, now);
-        let negative = self.negative_credit(node, now);
-        CreditBreakdown {
-            positive,
-            negative,
-            combined: self.params.lambda1 * positive + self.params.lambda2 * negative,
-        }
-    }
-
-    /// Discards transaction records that can no longer influence CrP
-    /// (older than ΔT before `now`). Misbehaviour records are never
-    /// discarded — their influence never fully decays (§IV-B).
-    pub fn compact(&mut self, now: SimTime) {
-        let cutoff = now.as_millis().saturating_sub(self.params.delta_t_ms);
-        for h in self.nodes.values_mut() {
-            h.txs.retain(|r| r.at.as_millis() >= cutoff);
-        }
-    }
-
-    /// Nodes with any recorded history.
-    pub fn known_nodes(&self) -> impl Iterator<Item = &NodeId> {
-        self.nodes.keys()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn node(n: u8) -> NodeId {
-        NodeId([n; 32])
-    }
-
-    fn t(secs: u64) -> SimTime {
-        SimTime::from_secs(secs)
-    }
-
-    #[test]
-    fn unknown_node_has_zero_credit() {
-        let reg = CreditRegistry::new(CreditParams::default());
-        let c = reg.credit_of(node(1), t(10));
-        assert_eq!(c.positive, 0.0);
-        assert_eq!(c.negative, 0.0);
-        assert_eq!(c.combined, 0.0);
-    }
-
-    #[test]
-    fn positive_credit_is_weight_over_delta_t() {
-        let mut reg = CreditRegistry::new(CreditParams::default());
-        reg.record_transaction(node(1), 3.0, t(5));
-        reg.record_transaction(node(1), 3.0, t(10));
-        // CrP = (3+3)/30 = 0.2
-        let c = reg.credit_of(node(1), t(20));
-        assert!((c.positive - 0.2).abs() < 1e-9);
-        assert_eq!(c.combined, c.positive); // λ1 = 1, no misbehaviour
-    }
-
-    #[test]
-    fn transactions_age_out_of_the_window() {
-        let mut reg = CreditRegistry::new(CreditParams::default());
-        reg.record_transaction(node(1), 3.0, t(5));
-        assert!(reg.positive_credit(node(1), t(10)) > 0.0);
-        // ΔT = 30 s; by t = 36 s the record at 5 s is outside the window.
-        assert_eq!(reg.positive_credit(node(1), t(36)), 0.0);
-    }
-
-    #[test]
-    fn future_records_do_not_count_yet() {
-        let mut reg = CreditRegistry::new(CreditParams::default());
-        reg.record_transaction(node(1), 1.0, t(50));
-        reg.record_misbehavior(node(1), Misbehavior::LazyTips, t(60));
-        assert_eq!(reg.positive_credit(node(1), t(10)), 0.0);
-        assert_eq!(reg.negative_credit(node(1), t(10)), 0.0);
-    }
-
-    #[test]
-    fn negative_credit_formula_matches_eqn4() {
-        let mut reg = CreditRegistry::new(CreditParams::default());
-        reg.record_misbehavior(node(1), Misbehavior::DoubleSpend, t(10));
-        // At t = 40 s: elapsed = 30 s, CrN = −1·30/30 = −1.
-        let n = reg.negative_credit(node(1), t(40));
-        assert!((n + 1.0).abs() < 1e-9, "got {n}");
-        // Combined uses λ2 = 0.5.
-        let c = reg.credit_of(node(1), t(40));
-        assert!((c.combined + 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn lazy_tips_punished_half_as_much_as_double_spend() {
-        let params = CreditParams::default();
-        let mut reg_lazy = CreditRegistry::new(params);
-        let mut reg_ds = CreditRegistry::new(params);
-        reg_lazy.record_misbehavior(node(1), Misbehavior::LazyTips, t(10));
-        reg_ds.record_misbehavior(node(1), Misbehavior::DoubleSpend, t(10));
-        let l = reg_lazy.negative_credit(node(1), t(40));
-        let d = reg_ds.negative_credit(node(1), t(40));
-        assert!((l - d / 2.0).abs() < 1e-9, "lazy {l}, double {d}");
-    }
-
-    #[test]
-    fn fresh_misbehavior_is_severely_punished() {
-        let mut reg = CreditRegistry::new(CreditParams::default());
-        reg.record_misbehavior(node(1), Misbehavior::DoubleSpend, t(10));
-        // Immediately after (elapsed floored at 100 ms): CrN = −1·30/0.1 = −300.
-        let n = reg.negative_credit(node(1), SimTime::from_millis(10_000));
-        assert!((n + 300.0).abs() < 1e-6, "got {n}");
-    }
-
-    #[test]
-    fn punishment_decays_but_never_vanishes() {
-        let mut reg = CreditRegistry::new(CreditParams::default());
-        reg.record_misbehavior(node(1), Misbehavior::DoubleSpend, t(0));
-        let at_30 = reg.negative_credit(node(1), t(30));
-        let at_300 = reg.negative_credit(node(1), t(300));
-        let at_3000 = reg.negative_credit(node(1), t(3000));
-        assert!(at_30 < at_300 && at_300 < at_3000, "decay is monotone");
-        assert!(at_3000 < 0.0, "never reaches zero");
-    }
-
-    #[test]
-    fn repeated_attacks_accumulate() {
-        let mut reg = CreditRegistry::new(CreditParams::default());
-        reg.record_misbehavior(node(1), Misbehavior::DoubleSpend, t(10));
-        let one = reg.negative_credit(node(1), t(40));
-        reg.record_misbehavior(node(1), Misbehavior::DoubleSpend, t(40));
-        let two = reg.negative_credit(node(1), t(70));
-        assert!(two < one, "second attack deepens the penalty: {two} vs {one}");
-    }
-
-    #[test]
-    fn lambda_weights_apply() {
-        let params = CreditParams {
-            lambda1: 2.0,
-            lambda2: 4.0,
-            ..CreditParams::default()
-        };
-        let mut reg = CreditRegistry::new(params);
-        reg.record_transaction(node(1), 3.0, t(10));
-        reg.record_misbehavior(node(1), Misbehavior::DoubleSpend, t(10));
-        let c = reg.credit_of(node(1), t(40));
-        let expect = 2.0 * c.positive + 4.0 * c.negative;
-        assert!((c.combined - expect).abs() < 1e-9);
-    }
-
-    #[test]
-    fn compact_preserves_credit_semantics() {
-        let mut reg = CreditRegistry::new(CreditParams::default());
-        reg.record_transaction(node(1), 3.0, t(5));
-        reg.record_transaction(node(1), 3.0, t(50));
-        reg.record_misbehavior(node(1), Misbehavior::LazyTips, t(5));
-        let before = reg.credit_of(node(1), t(60));
-        reg.compact(t(60));
-        let after = reg.credit_of(node(1), t(60));
-        assert_eq!(before, after);
-        // The old tx record is gone, the misbehaviour remains.
-        assert_eq!(reg.misbehavior_count(node(1)), 1);
-    }
-
-    #[test]
-    fn nodes_are_independent() {
-        let mut reg = CreditRegistry::new(CreditParams::default());
-        reg.record_misbehavior(node(1), Misbehavior::DoubleSpend, t(10));
-        reg.record_transaction(node(2), 5.0, t(10));
-        assert!(reg.credit_of(node(1), t(20)).combined < 0.0);
-        assert!(reg.credit_of(node(2), t(20)).combined > 0.0);
-        assert_eq!(reg.known_nodes().count(), 2);
-    }
-}
+/// The pre-refactor name of the credit store. The mutable registry became
+/// the event-sourced [`CreditLedger`]; the alias keeps old call sites
+/// compiling (`new`, `record_transaction`, `record_misbehavior`,
+/// `credit_of`, `compact`, `known_nodes` all survive with identical
+/// semantics).
+pub type CreditRegistry = CreditLedger;

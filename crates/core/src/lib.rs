@@ -74,7 +74,7 @@ pub mod pow;
 pub mod ratelimit;
 pub mod tokens;
 
-pub use credit::{CreditParams, CreditRegistry, Misbehavior};
+pub use credit::{CreditEvent, CreditLedger, CreditParams, CreditRegistry, Misbehavior};
 pub use difficulty::{DifficultyPolicy, FixedPolicy, InverseProportionalPolicy, LinearPolicy};
 pub use identity::Account;
 pub use node::{Gateway, GatewayConfig, LightNode, Manager, PreparedTx, SubmitError, VerifyConfig};

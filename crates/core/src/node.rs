@@ -12,7 +12,7 @@
 
 use crate::access::DataProtector;
 use crate::authz::{build_auth_list, AuthRegistry};
-use crate::credit::{CreditBreakdown, CreditParams, CreditRegistry, Misbehavior};
+use crate::credit::{CreditBreakdown, CreditEvent, CreditLedger, CreditParams, Misbehavior};
 use crate::difficulty::DifficultyPolicy;
 use crate::identity::Account;
 use crate::keydist::{KeyDistConfig, ManagerSession, Message1, Message2, Message3};
@@ -97,6 +97,11 @@ pub struct GatewayConfig {
     /// [`Gateway::take_broadcasts`]. Off by default: standalone gateways
     /// should not accumulate an unread queue.
     pub record_broadcasts: bool,
+    /// Record every applied [`CreditEvent`] in an outbox for persistence
+    /// (`biot-store` WAL) and replication (`biot-gossip`) — see
+    /// [`Gateway::take_credit_events`]. Off by default for the same
+    /// reason as `record_broadcasts`.
+    pub record_credit_events: bool,
 }
 
 impl Default for GatewayConfig {
@@ -109,6 +114,7 @@ impl Default for GatewayConfig {
             rate_limit: None,
             tip_selector: SelectorConfig::default(),
             record_broadcasts: false,
+            record_credit_events: false,
         }
     }
 }
@@ -179,7 +185,7 @@ struct AdmissionCheck {
 /// A full node: tangle replica, admission control, credit bookkeeping.
 pub struct Gateway {
     tangle: Tangle,
-    credits: CreditRegistry,
+    credits: CreditLedger,
     authz: AuthRegistry,
     policy: Box<dyn DifficultyPolicy + Send + Sync>,
     config: GatewayConfig,
@@ -199,6 +205,10 @@ pub struct Gateway {
     /// Accepted transactions awaiting pickup by a gossip layer (filled
     /// only when [`GatewayConfig::record_broadcasts`] is on).
     outbox: Vec<Transaction>,
+    /// Applied credit events awaiting pickup by the persistence or
+    /// gossip layer (filled only when
+    /// [`GatewayConfig::record_credit_events`] is on).
+    credit_outbox: Vec<CreditEvent>,
 }
 
 impl fmt::Debug for Gateway {
@@ -223,7 +233,7 @@ impl Gateway {
         let selector = config.tip_selector.build();
         Self {
             tangle: Tangle::new(),
-            credits: CreditRegistry::new(config.credit_params),
+            credits: CreditLedger::new(config.credit_params),
             authz: AuthRegistry::new(manager_pk.clone()),
             policy,
             config,
@@ -235,6 +245,17 @@ impl Gateway {
             selector,
             stats: GatewayStats::default(),
             outbox: Vec::new(),
+            credit_outbox: Vec::new(),
+        }
+    }
+
+    /// Applies a credit event to the ledger and, when
+    /// [`GatewayConfig::record_credit_events`] is on, queues it for the
+    /// persistence/gossip layer.
+    fn apply_credit_event(&mut self, ev: CreditEvent) {
+        self.credits.apply(&ev);
+        if self.config.record_credit_events {
+            self.credit_outbox.push(ev);
         }
     }
 
@@ -329,9 +350,28 @@ impl Gateway {
         &self.tangle
     }
 
-    /// The credit registry (read access for experiments).
-    pub fn credits(&self) -> &CreditRegistry {
+    /// The credit ledger (read access for experiments).
+    pub fn credits(&self) -> &CreditLedger {
         &self.credits
+    }
+
+    /// Drains the credit-event outbox: every [`CreditEvent`] this gateway
+    /// has applied since the last call, in application order. Only filled
+    /// when [`GatewayConfig::record_credit_events`] is set. Persist these
+    /// (`biot-store`) to survive restarts, or relay them (`biot-gossip`)
+    /// so replicas converge on credit and difficulty.
+    pub fn take_credit_events(&mut self) -> Vec<CreditEvent> {
+        std::mem::take(&mut self.credit_outbox)
+    }
+
+    /// Applies credit events received from a peer gateway (the
+    /// credit-side analogue of [`receive_broadcast`](Self::receive_broadcast)):
+    /// folds them into the ledger without re-queueing them in the outbox —
+    /// the originating gateway already did the bookkeeping.
+    pub fn absorb_credit_events(&mut self, events: &[CreditEvent]) {
+        for ev in events {
+            self.credits.apply(ev);
+        }
     }
 
     /// The authorization registry.
@@ -527,19 +567,27 @@ impl Gateway {
                 }
                 if let LazyVerdict::Lazy(_) = verdict {
                     self.stats.lazy_punished += 1;
-                    self.credits
-                        .record_misbehavior(issuer, Misbehavior::LazyTips, now);
+                    self.apply_credit_event(CreditEvent::misbehaved(
+                        issuer,
+                        Misbehavior::LazyTips,
+                        now,
+                    ));
                 } else {
                     // Honest activity earns credit; weight 1 at attach time
-                    // (approvals later deepen it via `refresh_weights`).
-                    self.credits.record_transaction(issuer, 1.0, now);
+                    // (approvals later deepen it via `refresh`). Same-instant
+                    // grants merge into one ledger record, so a batch submit
+                    // grows the issuer's history by one record, not N.
+                    self.apply_credit_event(CreditEvent::validated(issuer, 1.0, now));
                 }
                 Ok(id)
             }
             Err(e @ TangleError::DoubleSpend { .. }) => {
                 self.stats.rejected_ledger += 1;
-                self.credits
-                    .record_misbehavior(issuer, Misbehavior::DoubleSpend, now);
+                self.apply_credit_event(CreditEvent::misbehaved(
+                    issuer,
+                    Misbehavior::DoubleSpend,
+                    now,
+                ));
                 Err(e.into())
             }
             Err(e) => {
@@ -592,7 +640,10 @@ impl Gateway {
             if let Some(tx) = self.tangle.get(id) {
                 let w = self.tangle.cumulative_weight(id) as f64;
                 let issuer = tx.issuer;
-                self.credits.record_transaction(issuer, w, now);
+                // `confirm_with_threshold` only yields Pending→Confirmed
+                // transitions, so each transaction's weight is granted
+                // exactly once — repeated refreshes never re-record it.
+                self.apply_credit_event(CreditEvent::validated(issuer, w, now));
             }
         }
         self.credits.compact(now);
@@ -602,7 +653,7 @@ impl Gateway {
     /// Records an externally detected misbehaviour (e.g. a peer gateway
     /// reported a double-spend attempt it rejected).
     pub fn report_misbehavior(&mut self, node: NodeId, kind: Misbehavior, now: SimTime) {
-        self.credits.record_misbehavior(node, kind, now);
+        self.apply_credit_event(CreditEvent::misbehaved(node, kind, now));
     }
 
     /// Adopts a recovered ledger (e.g. from `biot-store` after a restart)
@@ -610,11 +661,11 @@ impl Gateway {
     /// payload in attach order — the list *is* on the ledger (Eqn 1), so
     /// nothing beyond the tangle needs separate persistence.
     ///
-    /// Credit history is intentionally **not** reconstructed: positive
-    /// credit windows (ΔT = 30 s) have long expired across a restart, and
-    /// restarting every node at the neutral base difficulty is the
-    /// conservative choice. Misbehaviour whose transactions were rejected
-    /// never reached the ledger, so it cannot be replayed either.
+    /// Credit history is **not** reconstructed here: misbehaviour whose
+    /// transactions were rejected never reached the tangle, so it cannot
+    /// be derived from it. Use [`restore`](Self::restore) with the credit
+    /// events recovered from the store's WAL to bring credit back too —
+    /// adopting only the tangle silently amnesties every punished node.
     pub fn adopt_tangle(&mut self, tangle: Tangle) {
         let mut lists: Vec<&Transaction> = tangle
             .iter()
@@ -627,6 +678,16 @@ impl Gateway {
             let _ = self.authz.apply(&tx.payload);
         }
         self.tangle = tangle;
+    }
+
+    /// Full restart recovery: adopts the recovered tangle **and** replays
+    /// the persisted credit events, so negative credit — and the
+    /// difficulty clamp it drives — survives the restart (§IV-B:
+    /// misbehaviour is never fully forgotten). The ledger is rebuilt from
+    /// scratch, so restoring twice is idempotent.
+    pub fn restore(&mut self, tangle: Tangle, credit_events: &[CreditEvent]) {
+        self.adopt_tangle(tangle);
+        self.credits = CreditLedger::from_events(self.config.credit_params, credit_events);
     }
 }
 

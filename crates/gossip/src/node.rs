@@ -26,6 +26,7 @@
 
 use crate::transport::{Connector, Transport};
 use crate::wire::{baseline_hash, decode_msg, encode_msg, Message, PROTOCOL_VERSION};
+use biot_credit::CreditEvent;
 use biot_tangle::graph::{Tangle, TangleError};
 use biot_tangle::tx::{Transaction, TxId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -109,6 +110,12 @@ pub struct GossipStats {
     pub invalid_frames: u64,
     /// Peers refused for version/genesis mismatch.
     pub incompatible: u64,
+    /// Credit events broadcast to peers.
+    pub credit_events_sent: u64,
+    /// Credit events received from peers (before any inbox-cap drops).
+    pub credit_events_received: u64,
+    /// Credit events dropped because the inbox was full.
+    pub credit_events_dropped: u64,
 }
 
 /// Where a peer slot currently stands.
@@ -174,6 +181,12 @@ struct PendingTx {
 const MAX_IDS_PER_TIPS: usize = 4_096;
 /// Cap on buffered pre-handshake frames per connection.
 const MAX_PREHELLO: usize = 256;
+/// Credit events per `CreditEvents` frame (≤ ~50 B each, stays well
+/// under the frame limit).
+const CREDIT_EVENTS_PER_FRAME: usize = 512;
+/// Cap on credit events waiting in the inbox for the owner to drain;
+/// a hostile peer cannot balloon memory past this.
+const MAX_CREDIT_INBOX: usize = 65_536;
 
 /// One replica's gossip endpoint. See the [module docs](self).
 pub struct GossipNode {
@@ -185,6 +198,9 @@ pub struct GossipNode {
     waiters: BTreeMap<TxId, Vec<TxId>>,
     /// In-flight `GetTx` requests and when they were (last) sent.
     requested: BTreeMap<TxId, u64>,
+    /// Credit events received from peers, waiting for the owner to
+    /// drain them into its ledger via [`take_credit_events`](Self::take_credit_events).
+    credit_inbox: Vec<CreditEvent>,
     next_anti_entropy_ms: u64,
     next_heartbeat_ms: u64,
     pending_seq: u64,
@@ -211,6 +227,7 @@ impl GossipNode {
             pending: BTreeMap::new(),
             waiters: BTreeMap::new(),
             requested: BTreeMap::new(),
+            credit_inbox: Vec::new(),
             next_anti_entropy_ms: 0,
             next_heartbeat_ms: 0,
             pending_seq: 0,
@@ -324,6 +341,37 @@ impl GossipNode {
         self.announce_to_ready(id, None, now_ms);
         self.resolve_waiters(id, now_ms);
         Ok(id)
+    }
+
+    /// Broadcasts locally observed credit events to every ready peer,
+    /// chunked to stay under the frame limit. Events are evidence, not
+    /// state: receivers fold them into their own [`biot_credit::CreditLedger`]
+    /// and are never asked to relay them onward (one-hop broadcast, like
+    /// announcements in a star topology).
+    pub fn broadcast_credit_events(&mut self, events: &[CreditEvent], now_ms: u64) {
+        if events.is_empty() {
+            return;
+        }
+        for chunk in events.chunks(CREDIT_EVENTS_PER_FRAME) {
+            let msg = Message::CreditEvents(chunk.to_vec());
+            for i in 0..self.peers.len() {
+                if self.peer_ready(i) && self.send_to(i, &msg, now_ms) {
+                    self.stats.credit_events_sent += chunk.len() as u64;
+                }
+            }
+        }
+    }
+
+    /// Drains credit events received from peers. The owner applies them
+    /// to its ledger (e.g. `Gateway::absorb_credit_events`); events are
+    /// in arrival order, which the ledger accepts out-of-order anyway.
+    pub fn take_credit_events(&mut self) -> Vec<CreditEvent> {
+        std::mem::take(&mut self.credit_inbox)
+    }
+
+    /// Number of credit events waiting to be drained.
+    pub fn credit_inbox_len(&self) -> usize {
+        self.credit_inbox.len()
     }
 
     /// One protocol step at virtual (or wall) time `now_ms`: redial due
@@ -575,6 +623,13 @@ impl GossipNode {
             }
             Message::Baseline { genesis, pruned } => {
                 self.handle_baseline(i, genesis, pruned, now_ms);
+            }
+            Message::CreditEvents(events) => {
+                self.stats.credit_events_received += events.len() as u64;
+                let room = MAX_CREDIT_INBOX.saturating_sub(self.credit_inbox.len());
+                let taken = events.len().min(room);
+                self.stats.credit_events_dropped += (events.len() - taken) as u64;
+                self.credit_inbox.extend(events.into_iter().take(taken));
             }
         }
     }
@@ -1044,6 +1099,91 @@ mod tests {
         node.poll(0);
         assert_eq!(node.stats().invalid_frames, 1);
         assert!(node.peers[0].conn.is_none());
+    }
+
+    #[test]
+    fn credit_events_broadcast_to_ready_peers_only() {
+        use biot_credit::Misbehavior;
+        use biot_net::time::SimTime;
+        let (mut node, g) = node_with_genesis();
+        let mut ready = wire_fake_peer(&mut node);
+        let mut silent = wire_fake_peer(&mut node);
+        ready.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        ready.drain();
+        silent.drain(); // only our Hello; never completes the handshake
+
+        let events = vec![
+            CreditEvent::validated(NodeId([1; 32]), 1.0, SimTime::from_secs(1)),
+            CreditEvent::misbehaved(NodeId([2; 32]), Misbehavior::DoubleSpend, SimTime::from_secs(2)),
+        ];
+        node.broadcast_credit_events(&events, 10);
+        assert_eq!(node.stats().credit_events_sent, 2);
+        let msgs = ready.drain();
+        assert!(
+            msgs.contains(&Message::CreditEvents(events)),
+            "ready peer gets the events, got {msgs:?}"
+        );
+        assert!(silent.drain().is_empty(), "unhandshaken peer gets nothing");
+    }
+
+    #[test]
+    fn received_credit_events_land_in_the_inbox() {
+        use biot_credit::Misbehavior;
+        use biot_net::time::SimTime;
+        let (mut node, g) = node_with_genesis();
+        let mut peer = wire_fake_peer(&mut node);
+        peer.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        peer.drain();
+
+        let ev = CreditEvent::misbehaved(NodeId([9; 32]), Misbehavior::LazyTips, SimTime::from_secs(3));
+        peer.send(&Message::CreditEvents(vec![ev]));
+        node.poll(10);
+        assert_eq!(node.credit_inbox_len(), 1);
+        assert_eq!(node.stats().credit_events_received, 1);
+        assert_eq!(node.take_credit_events(), vec![ev]);
+        assert_eq!(node.credit_inbox_len(), 0, "take drains the inbox");
+    }
+
+    #[test]
+    fn large_credit_batches_are_chunked_and_the_inbox_is_capped() {
+        use biot_net::time::SimTime;
+        let (mut a, g) = node_with_genesis();
+        let mut peer = wire_fake_peer(&mut a);
+        peer.send(&FakePeer::hello(Some(g)));
+        a.poll(0);
+        peer.drain();
+
+        let events: Vec<CreditEvent> = (0..1_500u64)
+            .map(|i| CreditEvent::validated(NodeId([(i % 7) as u8; 32]), 1.0, SimTime::from_millis(i)))
+            .collect();
+        a.broadcast_credit_events(&events, 10);
+        let frames = peer.drain();
+        let chunks: Vec<usize> = frames
+            .iter()
+            .filter_map(|m| match m {
+                Message::CreditEvents(evs) => Some(evs.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chunks, vec![512, 512, 476], "chunked under the frame cap");
+
+        // Feed far more than the inbox cap: overflow is counted, not kept.
+        let (mut b, g2) = node_with_genesis();
+        let mut flooder = wire_fake_peer(&mut b);
+        flooder.send(&FakePeer::hello(Some(g2)));
+        b.poll(0);
+        flooder.drain();
+        let burst: Vec<CreditEvent> = (0..600u64)
+            .map(|i| CreditEvent::validated(NodeId([3; 32]), 1.0, SimTime::from_millis(i)))
+            .collect();
+        for _ in 0..((MAX_CREDIT_INBOX / burst.len()) + 2) {
+            flooder.send(&Message::CreditEvents(burst.clone()));
+        }
+        b.poll(10);
+        assert_eq!(b.credit_inbox_len(), MAX_CREDIT_INBOX, "inbox bounded");
+        assert!(b.stats().credit_events_dropped > 0, "overflow accounted");
     }
 
     #[test]

@@ -19,12 +19,15 @@
 //! tag 8  Baseline   u8 has-genesis flag,
 //!                   [varint attach_ms, varint len, codec-encoded genesis],
 //!                   varint pruned count, count × 32-byte tx ids
+//! tag 9  CreditEvents varint count, count × (varint len,
+//!                   checksummed biot_credit event bytes)
 //! ```
 //!
 //! Varints are LEB128, identical to the tangle codec. Every declared
 //! count is validated against the remaining frame length **before** any
 //! allocation, mirroring the hardening in `tangle::codec`.
 
+use biot_credit::event::{decode_event, encode_event, CreditCodecError, CreditEvent};
 use biot_crypto::sha256::sha256;
 use biot_tangle::codec::{decode_tx, encode_tx, CodecError};
 use biot_tangle::tx::{Transaction, TxId};
@@ -53,6 +56,8 @@ pub enum WireError {
     TrailingBytes(usize),
     /// The embedded transaction failed to decode.
     Codec(CodecError),
+    /// An embedded credit event failed to decode.
+    CreditCodec(CreditCodecError),
 }
 
 impl fmt::Display for WireError {
@@ -64,6 +69,7 @@ impl fmt::Display for WireError {
             WireError::BadLength(n) => write!(f, "declared length {n} exceeds frame"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::Codec(e) => write!(f, "embedded transaction corrupt: {e}"),
+            WireError::CreditCodec(e) => write!(f, "embedded credit event corrupt: {e}"),
         }
     }
 }
@@ -73,6 +79,12 @@ impl std::error::Error for WireError {}
 impl From<CodecError> for WireError {
     fn from(e: CodecError) -> Self {
         WireError::Codec(e)
+    }
+}
+
+impl From<CreditCodecError> for WireError {
+    fn from(e: CreditCodecError) -> Self {
+        WireError::CreditCodec(e)
     }
 }
 
@@ -122,6 +134,13 @@ pub enum Message {
         /// Ids pruned by snapshots — known-confirmed ancestors.
         pruned: Vec<TxId>,
     },
+    /// Credit-ledger events (validations and misbehaviour evidence)
+    /// observed by the sender, so replicas converge on the same
+    /// credit — and therefore the same difficulty — for every node.
+    /// Each event carries its own version byte and checksum (the
+    /// [`biot_credit::event`] codec), so corruption is caught per
+    /// event, not just per frame.
+    CreditEvents(Vec<CreditEvent>),
 }
 
 /// Hash identifying a replica's baseline: SHA-256 over the genesis id (or
@@ -275,6 +294,15 @@ pub fn encode_msg(msg: &Message) -> Vec<u8> {
                 out.extend_from_slice(&id.0);
             }
         }
+        Message::CreditEvents(events) => {
+            out.push(9);
+            put_varint(&mut out, events.len() as u64);
+            for ev in events {
+                let body = encode_event(ev);
+                put_varint(&mut out, body.len() as u64);
+                out.extend_from_slice(&body);
+            }
+        }
     }
     out
 }
@@ -315,6 +343,25 @@ pub fn decode_msg(frame: &[u8]) -> Result<Message, WireError> {
             };
             Message::Baseline { genesis, pruned: r.id_vec()? }
         }
+        9 => {
+            let n = r.varint()?;
+            // Every credit event record costs at least its 1-byte length
+            // prefix plus MIN_ENCODED_LEN bytes of body, so a declared
+            // count beyond remaining/MIN is forged — reject before
+            // allocating.
+            if n > (r.remaining() / biot_credit::event::MIN_ENCODED_LEN) as u64 {
+                return Err(WireError::BadLength(n));
+            }
+            let mut events = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let len = r.varint()?;
+                if len > r.remaining() as u64 {
+                    return Err(WireError::BadLength(len));
+                }
+                events.push(decode_event(r.bytes(len as usize)?)?);
+            }
+            Message::CreditEvents(events)
+        }
         t => return Err(WireError::BadTag(t)),
     };
     if r.remaining() != 0 {
@@ -326,6 +373,8 @@ pub fn decode_msg(frame: &[u8]) -> Result<Message, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use biot_credit::Misbehavior;
+    use biot_net::time::SimTime;
     use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
     use proptest::prelude::*;
 
@@ -359,6 +408,20 @@ mod tests {
                 genesis: Some((9, sample_tx(Vec::new()))),
                 pruned: (0..40u8).map(|i| TxId([i; 32])).collect(),
             },
+            Message::CreditEvents(vec![]),
+            Message::CreditEvents(vec![
+                CreditEvent::validated(NodeId([0x11; 32]), 3.0, SimTime::from_millis(1_234)),
+                CreditEvent::misbehaved(
+                    NodeId([0x22; 32]),
+                    Misbehavior::DoubleSpend,
+                    SimTime::from_secs(60),
+                ),
+                CreditEvent::misbehaved(
+                    NodeId([0x33; 32]),
+                    Misbehavior::LazyTips,
+                    SimTime::ZERO,
+                ),
+            ]),
         ]
     }
 
@@ -402,6 +465,29 @@ mod tests {
         frame.extend_from_slice(&[0xFF; 9]);
         frame.push(0x7F);
         assert!(matches!(decode_msg(&frame), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn forged_credit_event_count_is_capped() {
+        // A CreditEvents frame declaring u64::MAX events with an empty
+        // body: rejected before any allocation, same as forged tip counts.
+        let mut frame = vec![9u8];
+        frame.extend_from_slice(&[0xFF; 9]);
+        frame.push(0x7F);
+        assert!(matches!(decode_msg(&frame), Err(WireError::BadLength(_))));
+    }
+
+    #[test]
+    fn corrupt_embedded_credit_event_is_a_credit_codec_error() {
+        let msg = Message::CreditEvents(vec![CreditEvent::validated(
+            NodeId([1; 32]),
+            1.0,
+            SimTime::from_secs(5),
+        )]);
+        let mut frame = encode_msg(&msg);
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF; // inside the event's own checksum
+        assert!(matches!(decode_msg(&frame), Err(WireError::CreditCodec(_))));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::gossip::{GossipMirror, GossipSimConfig, GossipSummary};
 use crate::pi::PiCalibration;
+use biot_core::credit::{CreditEvent, CreditLedger};
 use biot_core::difficulty::{DifficultyPolicy, FixedPolicy, InverseProportionalPolicy, LinearPolicy};
 use biot_core::identity::Account;
 use biot_core::node::{Gateway, GatewayConfig, LightNode, Manager, SubmitError, VerifyConfig};
@@ -140,8 +141,12 @@ pub struct CreditSample {
 pub struct RunResult {
     /// Every transaction attempt, in time order.
     pub outcomes: Vec<TxOutcome>,
-    /// Credit trace sampled once per second.
+    /// Credit trace sampled once per second — computed by replaying
+    /// [`credit_events`](Self::credit_events) into a fresh ledger, so a
+    /// stored event log reproduces Fig 8 exactly.
     pub samples: Vec<CreditSample>,
+    /// The run's full credit event log, in emission order.
+    pub credit_events: Vec<CreditEvent>,
     /// Gossip convergence report, when the run mirrored its ledger to a
     /// replica ([`NodeRunConfig::gossip`]).
     pub gossip: Option<GossipSummary>,
@@ -196,10 +201,18 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
         GatewayConfig {
             tip_selector: config.selector,
             record_broadcasts: config.gossip.is_some(),
+            // Always on (not just when gossip is): the event log feeds the
+            // Fig 8 replay trace, and draining it identically with or
+            // without a mirror keeps the two modes bit-for-bit comparable.
+            record_credit_events: true,
             ..GatewayConfig::default()
         },
     );
-    let mut gossip = config.gossip.as_ref().map(GossipMirror::new);
+    let mut gossip = config
+        .gossip
+        .as_ref()
+        .map(|g| GossipMirror::new(g, *gateway.credits().params()));
+    let mut event_log: Vec<CreditEvent> = Vec::new();
     gateway.set_verify_config(config.verify);
     let genesis = gateway.init_genesis(SimTime::ZERO);
     let device = LightNode::new(Account::generate(&mut rng));
@@ -283,8 +296,10 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
             final_weight: 0,
         });
 
+        let fresh_events = gateway.take_credit_events();
+        event_log.extend_from_slice(&fresh_events);
         if let Some(mirror) = gossip.as_mut() {
-            mirror.step(gateway.take_broadcasts(), now.as_millis());
+            mirror.step(gateway.take_broadcasts(), &fresh_events, now.as_millis());
         }
         now += config.think_time_ms;
     }
@@ -296,13 +311,22 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
         }
     }
 
-    // Sample the credit trace once per second. Credit is a pure function
-    // of recorded history, so post-hoc sampling is exact.
+    // Drain events accrued since the last loop iteration so the log is
+    // the complete history.
+    let tail_events = gateway.take_credit_events();
+    event_log.extend_from_slice(&tail_events);
+
+    // Sample the credit trace once per second — from a *replay* of the
+    // event log, not the live ledger. Credit is a pure projection of the
+    // log, so this is exact (the runner tests assert it matches the
+    // gateway bit-for-bit), and it proves a stored log alone reproduces
+    // Fig 8.
+    let replay = CreditLedger::from_events(*gateway.credits().params(), &event_log);
     let mut samples = Vec::new();
     let mut t = 0u64;
     while t <= duration_ms {
         let at = SimTime::from_millis(t);
-        let b = gateway.credit_of(dev_id, at);
+        let b = replay.credit_of(dev_id, at);
         samples.push(CreditSample {
             t_secs: at.as_secs_f64(),
             cr: b.combined,
@@ -315,11 +339,11 @@ pub fn run_single_node(config: &NodeRunConfig) -> RunResult {
 
     // Let in-flight gossip settle and score the replica.
     let gossip = gossip.map(|mut mirror| {
-        mirror.step(gateway.take_broadcasts(), duration_ms);
-        mirror.finish(gateway.tangle(), duration_ms)
+        mirror.step(gateway.take_broadcasts(), &tail_events, duration_ms);
+        mirror.finish(gateway.tangle(), gateway.credits(), duration_ms)
     });
 
-    RunResult { outcomes, samples, gossip }
+    RunResult { outcomes, samples, credit_events: event_log, gossip }
 }
 
 /// Simulates mining with periodic difficulty reassessment.
@@ -494,6 +518,8 @@ mod tests {
         assert_eq!(summary.replica_len, summary.primary_len, "{summary:?}");
         assert!(summary.tips_match, "{summary:?}");
         assert!(summary.weights_match, "{summary:?}");
+        assert!(summary.credit_match, "{summary:?}");
+        assert!(summary.replica_credit_events > 0, "{summary:?}");
         assert_eq!(summary.mirror_rejects, 0, "{summary:?}");
 
         // Same seeds → identical gossip trace.
@@ -504,6 +530,55 @@ mod tests {
         let plain = run_single_node(&quick_config());
         assert_eq!(plain.accepted_count(), first.accepted_count());
         assert_eq!(plain.avg_pow_secs(), first.avg_pow_secs());
+    }
+
+    #[test]
+    fn gossip_replica_agrees_on_credit_even_after_an_attack() {
+        // The punished node's deeply negative credit — and the clamped
+        // difficulty it implies — must be visible on the replica too,
+        // purely from gossiped misbehaviour evidence.
+        let result = run_single_node(&NodeRunConfig {
+            gossip: Some(GossipSimConfig::default()),
+            attack_times: vec![SimTime::from_secs(30)],
+            ..quick_config()
+        });
+        let summary = result.gossip.expect("gossip summary present");
+        assert!(summary.credit_match, "{summary:?}");
+        assert!(
+            result
+                .credit_events
+                .iter()
+                .any(|e| matches!(e, CreditEvent::Misbehaved { .. })),
+            "attack evidence must be in the event log"
+        );
+    }
+
+    #[test]
+    fn credit_trace_is_a_pure_replay_of_the_event_log() {
+        use biot_core::credit::CreditParams;
+        let result = run_single_node(&NodeRunConfig {
+            attack_times: vec![SimTime::from_secs(30)],
+            ..quick_config()
+        });
+        assert!(!result.credit_events.is_empty());
+        // The attacked device is the one node with misbehaviour evidence.
+        let dev = result
+            .credit_events
+            .iter()
+            .find_map(|e| match e {
+                CreditEvent::Misbehaved { node, .. } => Some(*node),
+                _ => None,
+            })
+            .expect("attack run records misbehaviour");
+        // Replaying the published log through a fresh ledger reproduces
+        // the published Fig 8 samples bit-for-bit.
+        let replay = CreditLedger::from_events(CreditParams::default(), &result.credit_events);
+        for s in &result.samples {
+            let b = replay.credit_of(dev, SimTime::from_millis((s.t_secs * 1000.0).round() as u64));
+            assert_eq!(b.combined, s.cr, "at t={}", s.t_secs);
+            assert_eq!(b.positive, s.crp, "at t={}", s.t_secs);
+            assert_eq!(b.negative, s.crn, "at t={}", s.t_secs);
+        }
     }
 
     #[test]

@@ -12,12 +12,19 @@
 //!
 //! * `snapshot.biot` — the last checkpoint (all rows of a
 //!   [`TangleSnapshot`] in the wire codec, custom-framed).
-//! * `wal.biot` — transactions attached since that checkpoint, appended
-//!   as `[varint attach_ms][varint len][codec bytes]` records.
+//! * `wal.biot` — records appended since that checkpoint. The current
+//!   (`BIOTWAL2`) format tags every record: tag 0 is a transaction
+//!   (`[0][varint attach_ms][varint len][codec bytes]`), tag 1 is a
+//!   credit event (`[1][varint len][biot_credit codec bytes]`) so
+//!   behaviour evidence — including misbehaviour whose transactions never
+//!   reached the tangle — survives a crash. Legacy untagged `BIOTWAL1`
+//!   logs are still read.
 //!
 //! Recovery = restore the snapshot, then re-attach WAL records in order.
 //! A torn final WAL record (crash mid-append) is detected by the codec
-//! checksum and dropped.
+//! checksum and dropped. [`LedgerStore::recover_full`] returns the
+//! replayed credit events alongside the tangle; feed them to
+//! `Gateway::restore` so negative credit survives the restart.
 //!
 //! ## Example
 //!
@@ -49,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use biot_credit::event::{decode_event, encode_event, CreditCodecError, CreditEvent};
 use biot_tangle::codec::{decode_tx, encode_tx, CodecError};
 use biot_tangle::graph::{Tangle, TangleError};
 use biot_tangle::snapshot::TangleSnapshot;
@@ -66,6 +74,9 @@ pub enum StoreError {
     /// A stored transaction failed to decode (and was not the final,
     /// possibly-torn WAL record).
     Codec(CodecError),
+    /// A stored credit event failed to decode (and was not the final,
+    /// possibly-torn WAL record).
+    CreditCodec(CreditCodecError),
     /// Replaying the log produced an inconsistent ledger.
     Replay(TangleError),
     /// The snapshot file is structurally invalid.
@@ -77,6 +88,7 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "i/o failure: {e}"),
             StoreError::Codec(e) => write!(f, "stored transaction corrupt: {e}"),
+            StoreError::CreditCodec(e) => write!(f, "stored credit event corrupt: {e}"),
             StoreError::Replay(e) => write!(f, "log replay failed: {e}"),
             StoreError::CorruptSnapshot(what) => write!(f, "snapshot corrupt: {what}"),
         }
@@ -97,6 +109,12 @@ impl From<CodecError> for StoreError {
     }
 }
 
+impl From<CreditCodecError> for StoreError {
+    fn from(e: CreditCodecError) -> Self {
+        StoreError::CreditCodec(e)
+    }
+}
+
 impl From<TangleError> for StoreError {
     fn from(e: TangleError) -> Self {
         StoreError::Replay(e)
@@ -104,7 +122,15 @@ impl From<TangleError> for StoreError {
 }
 
 const SNAPSHOT_MAGIC: &[u8; 8] = b"BIOTSNP1";
-const WAL_MAGIC: &[u8; 8] = b"BIOTWAL1";
+/// Legacy WAL: untagged transaction records only.
+const WAL_MAGIC_V1: &[u8; 8] = b"BIOTWAL1";
+/// Current WAL: tagged records (transactions + credit events).
+const WAL_MAGIC: &[u8; 8] = b"BIOTWAL2";
+
+/// Tag prefixing a transaction record in a v2 WAL.
+const WAL_TAG_TX: u8 = 0;
+/// Tag prefixing a credit-event record in a v2 WAL.
+const WAL_TAG_CREDIT: u8 = 1;
 
 fn write_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -135,6 +161,19 @@ fn read_varint(input: &[u8], pos: &mut usize) -> Option<u64> {
 pub struct LedgerStore {
     dir: PathBuf,
     wal: File,
+    /// WAL format version in force: 2 for fresh stores, 1 when an old
+    /// untagged log was found on open (appends then stay untagged so the
+    /// file remains self-consistent).
+    wal_version: u8,
+}
+
+/// Everything [`LedgerStore::recover_full`] can replay from disk.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// The tangle, when any transaction state was on disk.
+    pub tangle: Option<Tangle>,
+    /// Credit events in append order (empty for legacy v1 logs).
+    pub credit_events: Vec<CreditEvent>,
 }
 
 impl fmt::Debug for LedgerStore {
@@ -159,11 +198,24 @@ impl LedgerStore {
             .append(true)
             .read(true)
             .open(&wal_path)?;
-        if fresh {
+        let wal_version = if fresh {
             wal.write_all(WAL_MAGIC)?;
             wal.sync_data()?;
-        }
-        Ok(Self { dir, wal })
+            2
+        } else {
+            let mut magic = [0u8; 8];
+            let mut f = File::open(&wal_path)?;
+            match f.read_exact(&mut magic) {
+                Ok(()) if &magic == WAL_MAGIC_V1 => 1,
+                // Unknown/short magics fail later, in recovery.
+                _ => 2,
+            }
+        };
+        Ok(Self {
+            dir,
+            wal,
+            wal_version,
+        })
     }
 
     /// Appends a freshly attached transaction to the WAL.
@@ -174,10 +226,43 @@ impl LedgerStore {
     /// which recovery tolerates (the torn tail is dropped).
     pub fn append(&mut self, tx: &Transaction, attach_ms: u64) -> Result<(), StoreError> {
         let body = encode_tx(tx);
-        let mut record = Vec::with_capacity(body.len() + 12);
+        let mut record = Vec::with_capacity(body.len() + 13);
+        if self.wal_version >= 2 {
+            record.push(WAL_TAG_TX);
+        }
         write_varint(&mut record, attach_ms);
         write_varint(&mut record, body.len() as u64);
         record.extend_from_slice(&body);
+        self.wal.write_all(&record)?;
+        self.wal.sync_data()?;
+        Ok(())
+    }
+
+    /// Appends credit events to the WAL (one write, one sync), so the
+    /// behaviour evidence behind every credit value is as durable as the
+    /// transactions themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures. Rejected on a legacy v1 WAL, whose
+    /// untagged record format cannot carry credit events — checkpoint
+    /// first to upgrade.
+    pub fn append_credit_events(&mut self, events: &[CreditEvent]) -> Result<(), StoreError> {
+        if self.wal_version < 2 {
+            return Err(StoreError::CorruptSnapshot(
+                "legacy v1 wal cannot hold credit events",
+            ));
+        }
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut record = Vec::new();
+        for ev in events {
+            let body = encode_event(ev);
+            record.push(WAL_TAG_CREDIT);
+            write_varint(&mut record, body.len() as u64);
+            record.extend_from_slice(&body);
+        }
         self.wal.write_all(&record)?;
         self.wal.sync_data()?;
         Ok(())
@@ -214,13 +299,31 @@ impl LedgerStore {
             f.sync_data()?;
         }
         fs::rename(&tmp, &final_path)?;
-        // Start a fresh WAL.
+        // Start a fresh WAL (always current-format, upgrading v1 stores).
         let wal_path = self.dir.join("wal.biot");
         let mut wal = File::create(&wal_path)?;
         wal.write_all(WAL_MAGIC)?;
         wal.sync_data()?;
         self.wal = OpenOptions::new().append(true).read(true).open(&wal_path)?;
+        self.wal_version = 2;
         Ok(())
+    }
+
+    /// [`checkpoint`](Self::checkpoint), then re-seeds the fresh WAL with
+    /// `credit_events` — pass `CreditLedger::snapshot_events()` so the
+    /// truncation never forgets misbehaviour (§IV-B). The carried set is
+    /// bounded: one ΔT window of validations plus the misbehaviour list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn checkpoint_with_credit(
+        &mut self,
+        tangle: &Tangle,
+        credit_events: &[CreditEvent],
+    ) -> Result<(), StoreError> {
+        self.checkpoint(tangle)?;
+        self.append_credit_events(credit_events)
     }
 
     /// Recovers the ledger from disk: snapshot (if any) plus WAL replay.
@@ -233,64 +336,115 @@ impl LedgerStore {
     ///
     /// See [`StoreError`].
     pub fn recover(&self) -> Result<Option<Tangle>, StoreError> {
+        Ok(self.recover_full()?.tangle)
+    }
+
+    /// Recovers everything on disk: the tangle (snapshot + WAL replay)
+    /// *and* the credit events appended since the last checkpoint, in
+    /// order — replay them (`CreditLedger::from_events` /
+    /// `Gateway::restore`) so credit survives the restart. Torn-tail
+    /// semantics are identical to [`recover`](Self::recover).
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreError`].
+    pub fn recover_full(&self) -> Result<RecoveredState, StoreError> {
         let snap_path = self.dir.join("snapshot.biot");
         let mut tangle = if snap_path.exists() {
             Some(self.read_snapshot(&snap_path)?)
         } else {
             None
         };
+        let mut credit_events = Vec::new();
 
         let wal_path = self.dir.join("wal.biot");
         if wal_path.exists() {
             let mut data = Vec::new();
             File::open(&wal_path)?.read_to_end(&mut data)?;
             if data.len() >= WAL_MAGIC.len() {
-                if &data[..WAL_MAGIC.len()] != WAL_MAGIC {
-                    return Err(StoreError::CorruptSnapshot("wal magic"));
-                }
+                let tagged = match &data[..WAL_MAGIC.len()] {
+                    m if m == WAL_MAGIC => true,
+                    m if m == WAL_MAGIC_V1 => false,
+                    _ => return Err(StoreError::CorruptSnapshot("wal magic")),
+                };
                 let mut pos = WAL_MAGIC.len();
                 while pos < data.len() {
-                    let record_start = pos;
-                    let Some(attach_ms) = read_varint(&data, &mut pos) else {
-                        break; // torn tail
+                    let tag = if tagged {
+                        let t = data[pos];
+                        pos += 1;
+                        t
+                    } else {
+                        WAL_TAG_TX
                     };
-                    let Some(len) = read_varint(&data, &mut pos) else {
-                        break;
-                    };
-                    // Checked arithmetic: a torn or corrupt length varint
-                    // can decode to any u64; it must never overflow into a
-                    // bogus in-bounds `end`.
-                    let Some(end) = pos.checked_add(len as usize) else {
-                        break; // torn tail
-                    };
-                    if end > data.len() {
-                        break; // torn tail
-                    }
-                    match decode_tx(&data[pos..end]) {
-                        Ok(tx) => {
-                            let t = tangle.get_or_insert_with(Tangle::new);
-                            if tx.is_genesis() {
-                                if t.genesis().is_none() {
-                                    t.attach_genesis(tx.issuer, attach_ms);
-                                }
-                            } else {
-                                t.attach(tx, attach_ms)?;
-                            }
-                        }
-                        Err(e) => {
-                            // Only the final record may be torn/corrupt.
-                            if end == data.len() {
+                    match tag {
+                        WAL_TAG_TX => {
+                            let Some(attach_ms) = read_varint(&data, &mut pos) else {
+                                break; // torn tail
+                            };
+                            let Some(len) = read_varint(&data, &mut pos) else {
                                 break;
+                            };
+                            // Checked arithmetic: a torn or corrupt length
+                            // varint can decode to any u64; it must never
+                            // overflow into a bogus in-bounds `end`.
+                            let Some(end) = pos.checked_add(len as usize) else {
+                                break; // torn tail
+                            };
+                            if end > data.len() {
+                                break; // torn tail
                             }
-                            let _ = record_start;
-                            return Err(e.into());
+                            match decode_tx(&data[pos..end]) {
+                                Ok(tx) => {
+                                    let t = tangle.get_or_insert_with(Tangle::new);
+                                    if tx.is_genesis() {
+                                        if t.genesis().is_none() {
+                                            t.attach_genesis(tx.issuer, attach_ms);
+                                        }
+                                    } else {
+                                        t.attach(tx, attach_ms)?;
+                                    }
+                                }
+                                Err(e) => {
+                                    // Only the final record may be torn/corrupt.
+                                    if end == data.len() {
+                                        break;
+                                    }
+                                    return Err(e.into());
+                                }
+                            }
+                            pos = end;
                         }
+                        WAL_TAG_CREDIT => {
+                            let Some(len) = read_varint(&data, &mut pos) else {
+                                break; // torn tail
+                            };
+                            let Some(end) = pos.checked_add(len as usize) else {
+                                break; // torn tail
+                            };
+                            if end > data.len() {
+                                break; // torn tail
+                            }
+                            match decode_event(&data[pos..end]) {
+                                Ok(ev) => credit_events.push(ev),
+                                Err(e) => {
+                                    // Only the final record may be torn/corrupt.
+                                    if end == data.len() {
+                                        break;
+                                    }
+                                    return Err(e.into());
+                                }
+                            }
+                            pos = end;
+                        }
+                        _ => return Err(StoreError::CorruptSnapshot("wal record tag")),
                     }
-                    pos = end;
                 }
             }
         }
-        Ok(tangle)
+        Ok(RecoveredState {
+            tangle,
+            credit_events,
+        })
     }
 
     fn read_snapshot(&self, path: &Path) -> Result<Tangle, StoreError> {
@@ -531,6 +685,194 @@ mod tests {
         let b = LedgerStore::open(&dir.0).unwrap().recover().unwrap().unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(a.tips(), b.tips());
+    }
+
+    fn event(n: u8, secs: u64, weight: f64) -> CreditEvent {
+        CreditEvent::validated(NodeId([n; 32]), weight, SimTime::from_secs(secs))
+    }
+
+    fn mis(n: u8, secs: u64) -> CreditEvent {
+        CreditEvent::misbehaved(
+            NodeId([n; 32]),
+            biot_credit::Misbehavior::DoubleSpend,
+            SimTime::from_secs(secs),
+        )
+    }
+
+    use biot_net::time::SimTime;
+
+    #[test]
+    fn credit_events_roundtrip_interleaved_with_txs() {
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        let genesis = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let genesis_tx = tangle.get(&genesis).unwrap().clone();
+        store.append(&genesis_tx, 0).unwrap();
+        store.append_credit_events(&[event(1, 1, 1.0)]).unwrap();
+        grow(&mut tangle, &mut store, 3, 10);
+        store
+            .append_credit_events(&[mis(2, 12), event(1, 13, 4.0)])
+            .unwrap();
+        grow(&mut tangle, &mut store, 2, 40);
+
+        let recovered = LedgerStore::open(&dir.0).unwrap().recover_full().unwrap();
+        assert_eq!(recovered.tangle.unwrap().len(), tangle.len());
+        assert_eq!(
+            recovered.credit_events,
+            vec![event(1, 1, 1.0), mis(2, 12), event(1, 13, 4.0)],
+            "events replay losslessly, in append order"
+        );
+    }
+
+    #[test]
+    fn torn_credit_tail_recovers_valid_prefix_at_every_byte_offset() {
+        // The credit analogue of the tx torn-tail sweep: power dies at any
+        // byte while the last record (a credit event) is appended.
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        let genesis = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let genesis_tx = tangle.get(&genesis).unwrap().clone();
+        store.append(&genesis_tx, 0).unwrap();
+        grow(&mut tangle, &mut store, 2, 10);
+        store.append_credit_events(&[mis(3, 11)]).unwrap();
+
+        let wal_path = dir.0.join("wal.biot");
+        let before_last = fs::metadata(&wal_path).unwrap().len() as usize;
+        store.append_credit_events(&[event(4, 12, 2.0)]).unwrap();
+        let full = fs::read(&wal_path).unwrap();
+        assert!(full.len() > before_last);
+
+        for cut in before_last..full.len() {
+            fs::write(&wal_path, &full[..cut]).unwrap();
+            let recovered = LedgerStore::open(&dir.0)
+                .unwrap()
+                .recover_full()
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"));
+            assert_eq!(
+                recovered.credit_events,
+                vec![mis(3, 11)],
+                "cut at byte {cut}: earlier event intact, torn one dropped"
+            );
+            assert_eq!(recovered.tangle.unwrap().len(), tangle.len());
+        }
+        fs::write(&wal_path, &full).unwrap();
+        let recovered = LedgerStore::open(&dir.0).unwrap().recover_full().unwrap();
+        assert_eq!(recovered.credit_events, vec![mis(3, 11), event(4, 12, 2.0)]);
+    }
+
+    #[test]
+    fn corrupt_middle_credit_record_is_an_error() {
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        let genesis = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let genesis_tx = tangle.get(&genesis).unwrap().clone();
+        store.append(&genesis_tx, 0).unwrap();
+        let wal_clean = fs::metadata(dir.0.join("wal.biot")).unwrap().len() as usize;
+        store.append_credit_events(&[mis(1, 5)]).unwrap();
+        grow(&mut tangle, &mut store, 2, 10);
+
+        // Flip a bit inside the credit event's body (not the last record,
+        // so torn-tail tolerance does not apply).
+        let wal_path = dir.0.join("wal.biot");
+        let mut data = fs::read(&wal_path).unwrap();
+        data[wal_clean + 10] ^= 0x01;
+        fs::write(&wal_path, &data).unwrap();
+        let result = LedgerStore::open(&dir.0).unwrap().recover_full();
+        assert!(result.is_err(), "mid-log credit corruption must not pass");
+    }
+
+    #[test]
+    fn legacy_v1_wal_still_recovers() {
+        // Hand-write a v1 (untagged) WAL and check both that it recovers
+        // and that post-open appends keep the legacy framing.
+        let dir = TempDir::new();
+        let mut tangle = Tangle::new();
+        let genesis = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let genesis_tx = tangle.get(&genesis).unwrap().clone();
+        let mut data = WAL_MAGIC_V1.to_vec();
+        let body = encode_tx(&genesis_tx);
+        write_varint(&mut data, 0);
+        write_varint(&mut data, body.len() as u64);
+        data.extend_from_slice(&body);
+        fs::write(dir.0.join("wal.biot"), &data).unwrap();
+
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        grow(&mut tangle, &mut store, 3, 10);
+        let recovered = store.recover_full().unwrap();
+        assert_eq!(recovered.tangle.unwrap().len(), tangle.len());
+        assert!(recovered.credit_events.is_empty());
+        // Credit events need the tagged format; a checkpoint upgrades.
+        assert!(store.append_credit_events(&[mis(1, 5)]).is_err());
+        store.checkpoint(&tangle).unwrap();
+        store.append_credit_events(&[mis(1, 5)]).unwrap();
+        let recovered = store.recover_full().unwrap();
+        assert_eq!(recovered.credit_events, vec![mis(1, 5)]);
+    }
+
+    #[test]
+    fn checkpoint_with_credit_carries_events_across_truncation() {
+        let dir = TempDir::new();
+        let mut store = LedgerStore::open(&dir.0).unwrap();
+        let mut tangle = Tangle::new();
+        tangle.attach_genesis(NodeId([0; 32]), 0);
+        store
+            .append_credit_events(&[event(1, 1, 1.0), mis(2, 2)])
+            .unwrap();
+        grow(&mut tangle, &mut store, 3, 10);
+
+        // A plain checkpoint would drop the events with the WAL; the
+        // credit-aware one re-seeds them.
+        store
+            .checkpoint_with_credit(&tangle, &[event(1, 1, 1.0), mis(2, 2)])
+            .unwrap();
+        let recovered = LedgerStore::open(&dir.0).unwrap().recover_full().unwrap();
+        assert_eq!(recovered.tangle.unwrap().len(), tangle.len());
+        assert_eq!(recovered.credit_events, vec![event(1, 1, 1.0), mis(2, 2)]);
+    }
+
+    // WAL round-trip fuzz: any event stream appended in any batching must
+    // recover bit-for-bat identical and in order.
+    use proptest::prelude::*;
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn random_event_streams_roundtrip_through_the_wal(
+            stream in proptest::collection::vec(
+                (any::<bool>(), 0u8..5, 0u64..100_000, 1u32..1000),
+                0..40,
+            ),
+            batch in 1usize..7,
+        ) {
+            let dir = TempDir::new();
+            let mut store = LedgerStore::open(&dir.0).unwrap();
+            let events: Vec<CreditEvent> = stream
+                .iter()
+                .map(|&(is_tx, n, at_ms, w)| {
+                    if is_tx {
+                        CreditEvent::validated(
+                            NodeId([n; 32]),
+                            w as f64,
+                            SimTime::from_millis(at_ms),
+                        )
+                    } else {
+                        CreditEvent::misbehaved(
+                            NodeId([n; 32]),
+                            biot_credit::Misbehavior::LazyTips,
+                            SimTime::from_millis(at_ms),
+                        )
+                    }
+                })
+                .collect();
+            for chunk in events.chunks(batch) {
+                store.append_credit_events(chunk).unwrap();
+            }
+            let recovered = store.recover_full().unwrap();
+            prop_assert_eq!(recovered.credit_events, events);
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`net`] (`biot-net`) — the discrete-event network simulator.
 //! * [`gossip`] (`biot-gossip`) — peer-to-peer tangle synchronization
 //!   over in-memory or real TCP transports.
+//! * [`credit`] (`biot-credit`) — the event-sourced credit ledger
+//!   (Eqns 2–5 as a projection over an append-only event log).
 //! * [`core`] (`biot-core`) — credit-based PoW, device management, data
 //!   authority management, node roles.
 //! * [`sim`] (`biot-sim`) — Pi calibration, workloads, attack and
@@ -27,6 +29,7 @@
 
 pub use biot_chain as chain;
 pub use biot_core as core;
+pub use biot_credit as credit;
 pub use biot_crypto as crypto;
 pub use biot_gossip as gossip;
 pub use biot_net as net;
