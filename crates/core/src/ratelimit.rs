@@ -113,6 +113,12 @@ impl RateLimiter {
         self.buckets.get(&node).map(|b| b.tokens)
     }
 
+    /// How many nodes currently hold bucket state (diagnostics: the
+    /// number [`compact`](Self::compact) exists to bound).
+    pub fn tracked_nodes(&self) -> usize {
+        self.buckets.len()
+    }
+
     /// Drops state for nodes idle since before `cutoff` (memory hygiene).
     pub fn compact(&mut self, cutoff: SimTime) {
         self.buckets.retain(|_, b| b.last_refill >= cutoff);
@@ -202,6 +208,72 @@ mod tests {
         l.compact(t_ms(5_000));
         assert!(l.tokens(node(1)).is_none());
         assert!(l.tokens(node(2)).is_some());
+    }
+
+    #[test]
+    fn connection_churn_flood_is_compactable() {
+        // An ingest front end keys buckets by connection, so a dialing
+        // flood creates one bucket per connection: state must stay
+        // bounded by periodic compaction, not grow with total arrivals.
+        let mut l = RateLimiter::new(RateLimitConfig {
+            burst: 4.0,
+            per_second: 1.0,
+        });
+        let mut id = 0u64;
+        for wave in 0u64..50 {
+            let now = t_ms(wave * 1_000);
+            for _ in 0..200 {
+                let mut bytes = [0u8; 32];
+                bytes[..8].copy_from_slice(&id.to_be_bytes());
+                id += 1;
+                assert!(l.allow(NodeId(bytes), now), "fresh bucket has burst");
+            }
+            // Everything idle for more than 2 s is a dead connection.
+            l.compact(t_ms(wave.saturating_sub(2) * 1_000));
+            assert!(
+                l.tracked_nodes() <= 3 * 200,
+                "wave {wave}: {} buckets survived compaction",
+                l.tracked_nodes()
+            );
+        }
+        assert_eq!(id, 10_000, "every arrival was metered");
+    }
+
+    #[test]
+    fn compaction_never_changes_live_node_decisions() {
+        let config = RateLimitConfig {
+            burst: 3.0,
+            per_second: 2.0,
+        };
+        // Same request schedule for one long-lived node, with and
+        // without interleaved churn + compaction around it. The cutoff
+        // trails the live node's own activity, so its bucket always
+        // survives; every stranger is at most one round old and gets
+        // dropped on the next compaction.
+        let mut quiet = RateLimiter::new(config);
+        let mut churned = RateLimiter::new(config);
+        let live = node(0xEE);
+        let mut quiet_decisions = Vec::new();
+        let mut churned_decisions = Vec::new();
+        let mut prev_ms = 0u64;
+        for i in 0u64..200 {
+            let ms = i * 37;
+            quiet_decisions.push(quiet.allow(live, t_ms(ms)));
+            for n in 0..5u8 {
+                let mut bytes = [0xAAu8; 32];
+                bytes[..8].copy_from_slice(&i.to_be_bytes());
+                bytes[8] = n;
+                churned.allow(NodeId(bytes), t_ms(ms));
+            }
+            churned.compact(t_ms(prev_ms));
+            churned_decisions.push(churned.allow(live, t_ms(ms)));
+            prev_ms = ms;
+        }
+        assert_eq!(quiet_decisions, churned_decisions);
+        assert!(
+            churned.tracked_nodes() <= 11,
+            "live node + at most two rounds of strangers (cutoff is inclusive)"
+        );
     }
 
     #[test]

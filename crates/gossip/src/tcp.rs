@@ -12,6 +12,24 @@ use crate::transport::{Connector, Transport, TransportError};
 use crate::wire::MAX_FRAME_BYTES;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::fd::{AsRawFd, RawFd};
+
+/// Cap on unflushed outbound bytes per connection. A peer that stops
+/// reading (stalled reader, routing black hole) would otherwise grow the
+/// `tx` queue without bound; once queuing a frame would cross this cap,
+/// [`TcpTransport::send`] refuses it with
+/// [`TransportError::Backpressure`] instead of buffering.
+pub const MAX_TX_BUFFER_BYTES: usize = 4 << 20;
+
+/// Once this many consumed bytes sit in front of the rx read cursor, the
+/// buffer is compacted (one memmove). Consuming frames merely advances
+/// the cursor, so compaction cost is amortized: each received byte is
+/// moved at most once per `RX_COMPACT_THRESHOLD` bytes consumed — O(1)
+/// amortized per byte, where the old `Vec::drain`-per-frame scheme moved
+/// the whole residual buffer on every frame (quadratic under many small
+/// frames).
+const RX_COMPACT_THRESHOLD: usize = 64 * 1024;
 
 fn to_transport_err(e: &io::Error) -> TransportError {
     match e.kind() {
@@ -27,9 +45,16 @@ fn to_transport_err(e: &io::Error) -> TransportError {
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
-    /// Unparsed inbound bytes (partial frames accumulate here).
+    /// Unparsed inbound bytes. `rx[rx_pos..]` is live; `rx[..rx_pos]` has
+    /// been consumed and awaits amortized compaction.
     rx: Vec<u8>,
-    /// Outbound bytes the socket has not accepted yet.
+    /// Read cursor into `rx` (see [`RX_COMPACT_THRESHOLD`]).
+    rx_pos: usize,
+    /// Total bytes ever moved by rx compaction — diagnostics for the
+    /// amortization proof (tests assert this stays linear in traffic).
+    rx_compacted: u64,
+    /// Outbound bytes the socket has not accepted yet (≤
+    /// [`MAX_TX_BUFFER_BYTES`]).
     tx: Vec<u8>,
     open: bool,
     peer: String,
@@ -58,7 +83,47 @@ impl TcpTransport {
             .peer_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| "tcp:?".to_string());
-        Ok(Self { stream, rx: Vec::new(), tx: Vec::new(), open: true, peer })
+        Ok(Self {
+            stream,
+            rx: Vec::new(),
+            rx_pos: 0,
+            rx_compacted: 0,
+            tx: Vec::new(),
+            open: true,
+            peer,
+        })
+    }
+
+    /// Unflushed outbound bytes currently queued (diagnostics and
+    /// backpressure accounting; always ≤ [`MAX_TX_BUFFER_BYTES`]).
+    pub fn pending_tx_bytes(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Pushes queued outbound bytes into the socket without blocking —
+    /// for event loops reacting to a writability notification.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] or I/O failures; never backpressure.
+    pub fn flush(&mut self) -> Result<(), TransportError> {
+        if !self.open {
+            return Err(TransportError::Closed);
+        }
+        self.flush_tx()
+    }
+
+    /// Total bytes ever moved compacting the inbound buffer — stays
+    /// linear in bytes received (amortization diagnostics).
+    pub fn rx_compacted_bytes(&self) -> u64 {
+        self.rx_compacted
+    }
+
+    /// The raw socket fd, for readiness registration with an event loop
+    /// (see `biot-ingest`). The transport keeps ownership; do not close it.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
     }
 
     /// Pushes queued outbound bytes into the socket without blocking.
@@ -104,21 +169,49 @@ impl TcpTransport {
     }
 
     /// Extracts one complete frame from the rx buffer, if present.
+    ///
+    /// Consumption advances `rx_pos`; the dead prefix is memmoved out
+    /// only once it exceeds [`RX_COMPACT_THRESHOLD`], so a burst of many
+    /// small frames costs O(bytes) total instead of O(frames × residual).
     fn pop_frame(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
-        if self.rx.len() < 4 {
+        let live = &self.rx[self.rx_pos..];
+        if live.len() < 4 {
+            self.maybe_compact();
             return Ok(None);
         }
-        let len = u32::from_be_bytes([self.rx[0], self.rx[1], self.rx[2], self.rx[3]]) as usize;
+        let len = u32::from_be_bytes([live[0], live[1], live[2], live[3]]) as usize;
         if len > MAX_FRAME_BYTES {
             self.open = false;
             return Err(TransportError::TooLarge(len));
         }
-        if self.rx.len() < 4 + len {
+        if live.len() < 4 + len {
+            self.maybe_compact();
             return Ok(None);
         }
-        let frame = self.rx[4..4 + len].to_vec();
-        self.rx.drain(..4 + len);
+        let frame = live[4..4 + len].to_vec();
+        self.rx_pos += 4 + len;
+        self.maybe_compact();
         Ok(Some(frame))
+    }
+
+    /// Drops the consumed prefix when it is large enough to amortize, or
+    /// trivially when nothing live remains.
+    fn maybe_compact(&mut self) {
+        if self.rx_pos == 0 {
+            return;
+        }
+        let live = self.rx.len() - self.rx_pos;
+        if live == 0 {
+            self.rx.clear();
+            self.rx_pos = 0;
+        } else if self.rx_pos >= RX_COMPACT_THRESHOLD && self.rx_pos >= live {
+            // Only compact once the dead prefix outweighs the live bytes:
+            // the memmove then costs at most the bytes consumed since the
+            // last compaction, i.e. O(1) amortized per received byte.
+            self.rx_compacted += live as u64;
+            self.rx.drain(..self.rx_pos);
+            self.rx_pos = 0;
+        }
     }
 }
 
@@ -129,6 +222,13 @@ impl Transport for TcpTransport {
         }
         if frame.len() > MAX_FRAME_BYTES {
             return Err(TransportError::TooLarge(frame.len()));
+        }
+        if self.tx.len() + 4 + frame.len() > MAX_TX_BUFFER_BYTES {
+            // Give the socket one chance to drain before refusing.
+            self.flush_tx()?;
+            if self.tx.len() + 4 + frame.len() > MAX_TX_BUFFER_BYTES {
+                return Err(TransportError::Backpressure { buffered: self.tx.len() });
+            }
         }
         self.tx.extend_from_slice(&(frame.len() as u32).to_be_bytes());
         self.tx.extend_from_slice(frame);
@@ -201,6 +301,34 @@ impl TcpAcceptor {
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => Err(e),
         }
+    }
+
+    /// Accepts every pending connection, up to `max` per call, so a burst
+    /// of N dials drains in one tick instead of N. Never blocks; `max`
+    /// bounds the time one tick can spend accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures other than "nothing pending";
+    /// connections accepted before the failure are returned by the next
+    /// call (they stay in the kernel backlog only until accepted, so an
+    /// error mid-burst drops nothing already returned).
+    pub fn try_accept_all(&self, max: usize) -> io::Result<Vec<TcpTransport>> {
+        let mut accepted = Vec::new();
+        while accepted.len() < max {
+            match self.try_accept()? {
+                Some(t) => accepted.push(t),
+                None => break,
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// The raw listener fd, for readiness registration with an event loop
+    /// (see `biot-ingest`). The acceptor keeps ownership; do not close it.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> RawFd {
+        self.listener.as_raw_fd()
     }
 }
 
@@ -280,6 +408,116 @@ mod tests {
         });
         assert!(closed);
         assert!(!server.is_open());
+    }
+
+    #[test]
+    fn slow_reader_hits_backpressure_not_unbounded_buffering() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let mut client = TcpTransport::connect(addr).unwrap();
+        // Accept the peer but never read from it: the OS socket buffers
+        // fill, then the client's tx queue, then send must refuse.
+        let _server = poll_until(|| acceptor.try_accept().unwrap());
+
+        let frame = vec![0x5Au8; 256 * 1024];
+        let mut refused = None;
+        // 64 MiB of attempts — far beyond socket buffers + the 4 MiB cap,
+        // so a regression to unbounded buffering fails the assert below.
+        for _ in 0..256 {
+            match client.send(&frame) {
+                Ok(()) => {}
+                Err(e) => {
+                    refused = Some(e);
+                    break;
+                }
+            }
+        }
+        match refused {
+            Some(TransportError::Backpressure { buffered }) => {
+                assert!(buffered <= MAX_TX_BUFFER_BYTES);
+            }
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        assert!(client.pending_tx_bytes() <= MAX_TX_BUFFER_BYTES);
+        assert!(client.is_open(), "backpressure must not kill the connection");
+    }
+
+    #[test]
+    fn many_small_frames_compact_amortized_not_quadratic() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let mut server = poll_until(|| acceptor.try_accept().unwrap());
+
+        // 50k 16-byte frames = 1 MB of traffic. The old drain-per-frame
+        // scheme memmoved the whole residual buffer per frame — O(n²),
+        // potentially ~GBs moved. The cursor scheme moves each byte at
+        // most once per RX_COMPACT_THRESHOLD consumed, so total compacted
+        // bytes stay below a small multiple of bytes received.
+        const FRAMES: usize = 50_000;
+        let frame = [0xC3u8; 16];
+        let mut sent = 0usize;
+        let mut got = 0usize;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while got < FRAMES {
+            while sent < FRAMES {
+                match client.send(&frame) {
+                    Ok(()) => sent += 1,
+                    Err(TransportError::Backpressure { .. }) => break,
+                    Err(e) => panic!("send failed: {e:?}"),
+                }
+            }
+            while let Some(f) = server.try_recv().unwrap() {
+                assert_eq!(f, frame);
+                got += 1;
+            }
+            assert!(std::time::Instant::now() < deadline, "throughput collapsed");
+        }
+        let wire_bytes = (FRAMES * (4 + frame.len())) as u64;
+        assert!(
+            server.rx_compacted_bytes() <= 2 * wire_bytes,
+            "compaction moved {} bytes for {} received — not amortized",
+            server.rx_compacted_bytes(),
+            wire_bytes
+        );
+    }
+
+    #[test]
+    fn accept_burst_drains_in_one_call() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        // Blocking connects complete against the kernel backlog before a
+        // single accept runs, so all 32 are pending at once.
+        let clients: Vec<TcpStream> =
+            (0..32).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        let mut accepted = poll_until(|| {
+            let batch = acceptor.try_accept_all(64).unwrap();
+            if batch.is_empty() { None } else { Some(batch) }
+        });
+        // One call (plus a grace poll for straggling handshakes) gets all.
+        while accepted.len() < clients.len() {
+            let more = poll_until(|| {
+                let batch = acceptor.try_accept_all(64).unwrap();
+                if batch.is_empty() { None } else { Some(batch) }
+            });
+            accepted.extend(more);
+        }
+        assert_eq!(accepted.len(), clients.len());
+        assert!(
+            accepted.len() >= 2,
+            "a burst must not take one tick per connection"
+        );
+
+        // The per-call bound is respected.
+        for c in 0..8 {
+            let _ = TcpStream::connect(addr).unwrap();
+            let _ = c;
+        }
+        let capped = poll_until(|| {
+            let batch = acceptor.try_accept_all(3).unwrap();
+            if batch.is_empty() { None } else { Some(batch) }
+        });
+        assert!(capped.len() <= 3);
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub enum TransportError {
     Closed,
     /// A frame exceeded [`crate::wire::MAX_FRAME_BYTES`].
     TooLarge(usize),
+    /// The peer is reading too slowly: queuing this frame would push the
+    /// outbound buffer past its cap (see
+    /// [`crate::tcp::MAX_TX_BUFFER_BYTES`]). The frame was **not**
+    /// queued; the connection is still open. Retry after the peer drains,
+    /// or close it.
+    Backpressure {
+        /// Bytes already queued and unacknowledged by the socket.
+        buffered: usize,
+    },
     /// An I/O failure (TCP transports only).
     Io(std::io::ErrorKind),
 }
@@ -32,6 +41,9 @@ impl fmt::Display for TransportError {
         match self {
             TransportError::Closed => write!(f, "connection closed"),
             TransportError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            TransportError::Backpressure { buffered } => {
+                write!(f, "peer too slow: {buffered} bytes already buffered")
+            }
             TransportError::Io(kind) => write!(f, "i/o failure: {kind:?}"),
         }
     }

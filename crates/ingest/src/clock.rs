@@ -1,0 +1,78 @@
+//! Wall-clock → [`SimTime`] adapter.
+//!
+//! Everything stateful in a B-IoT gateway — the rate limiter's token
+//! buckets, the credit ledger's CrP windows, lazy-tip ages — runs on
+//! virtual [`SimTime`] milliseconds, which is what makes simulations and
+//! tests deterministic. A production ingest loop runs on the machine's
+//! monotonic clock instead; this module is the *entire* bridge between
+//! the two, so the agreement proof is one function:
+//! [`simtime_of_elapsed`]. Tests drive the limiter once with virtual
+//! instants and once with synthetic `Duration`s through this adapter and
+//! assert identical decisions (see `tests/ingest_e2e.rs`).
+
+use biot_net::time::SimTime;
+use std::time::{Duration, Instant};
+
+/// Maps elapsed wall time since some origin to a [`SimTime`] instant —
+/// millisecond truncation, exactly what `SimTime` stores. Shared by
+/// [`MonotonicClock`] and by tests feeding synthetic durations.
+pub fn simtime_of_elapsed(elapsed: Duration) -> SimTime {
+    SimTime::from_millis(elapsed.as_millis() as u64)
+}
+
+/// A monotonic wall clock reporting [`SimTime`] since its creation.
+///
+/// Backed by [`Instant`], so it never goes backwards and is immune to
+/// wall-clock adjustments — the property the token-bucket refill and the
+/// idle-timeout sweep rely on.
+#[derive(Clone, Copy, Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose `now()` starts at 0 ms.
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+
+    /// Milliseconds elapsed since creation, as a virtual instant.
+    pub fn now(&self) -> SimTime {
+        simtime_of_elapsed(self.origin.elapsed())
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_never_goes_backwards() {
+        let clock = MonotonicClock::new();
+        let mut prev = clock.now();
+        for _ in 0..1000 {
+            let now = clock.now();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn adapter_truncates_to_whole_milliseconds() {
+        assert_eq!(simtime_of_elapsed(Duration::ZERO), SimTime::ZERO);
+        assert_eq!(
+            simtime_of_elapsed(Duration::from_micros(1_999)),
+            SimTime::from_millis(1)
+        );
+        assert_eq!(
+            simtime_of_elapsed(Duration::from_millis(30_000)),
+            SimTime::from_secs(30)
+        );
+    }
+}

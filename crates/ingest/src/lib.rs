@@ -1,0 +1,55 @@
+//! # biot-ingest
+//!
+//! The admission front end of a B-IoT gateway: a single-threaded
+//! readiness reactor serving thousands of concurrent light-node
+//! connections over real TCP sockets, feeding the gateway's parallel
+//! `submit_batch` verify pipeline.
+//!
+//! The paper's gateway is the chokepoint every IoT device goes through
+//! (authorization list of Eqn 1, signature check, credit-scaled PoW).
+//! Serving "heavy traffic from millions of users" therefore starts here:
+//! the per-connection poll loop that was fine for two gossiping replicas
+//! (`biot-gossip`) burns one read syscall per connection per tick whether
+//! or not the device said anything. This crate replaces that with a
+//! mio-style event loop — the kernel tells us *which* sockets are ready
+//! and only those are touched.
+//!
+//! ## Layering
+//!
+//! * [`sys`] — raw Linux `epoll` syscalls (x86-64 / aarch64, no libc
+//!   dependency); absent on other targets.
+//! * [`reactor`] — the [`reactor::Poller`] abstraction:
+//!   [`reactor::EpollPoller`] (readiness from the kernel, O(ready) per
+//!   tick) with a portable level-triggered [`reactor::ScanPoller`]
+//!   fallback (O(connections) per tick) that doubles as the naive
+//!   baseline in `results/BENCH_ingest.json`.
+//! * [`protocol`] — the minimal length-prefixed client protocol:
+//!   `SubmitTx` / `SubmitBatch` in, `Ack` with per-transaction result
+//!   codes out.
+//! * [`clock`] — a monotonic wall-clock adapter producing the virtual
+//!   [`biot_net::time::SimTime`] instants the rate limiter and credit
+//!   ledger run on, so production sockets and deterministic tests share
+//!   every code path.
+//! * [`server`] — the [`server::IngestServer`]: accept bursts, bounded
+//!   per-connection and global inflight queues, per-connection token
+//!   buckets ([`biot_core::ratelimit`]), explicit `Busy` backpressure
+//!   with deferred read interest, idle timeouts, and lifecycle counters.
+//!
+//! Admission results are **bit-identical** to calling
+//! [`biot_core::node::Gateway::submit_batch`] directly on the same
+//! transaction stream: the reactor only changes *who reads the bytes*,
+//! never the admission decision (see `tests/ingest_e2e.rs`).
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod protocol;
+pub mod reactor;
+pub mod server;
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub mod sys;
+
+pub use clock::MonotonicClock;
+pub use protocol::{AckCode, ClientMsg, ProtocolError, ServerMsg};
+pub use reactor::{build_poller, Event, Interest, Poller, PollerKind};
+pub use server::{IngestConfig, IngestServer, IngestStats, PollProgress};

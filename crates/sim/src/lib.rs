@@ -16,6 +16,8 @@
 //!   parasite-chain experiments (§VI-C).
 //! * [`cluster`] — networked multi-gateway replication with gossip and
 //!   anti-entropy.
+//! * [`loadgen`] — concurrent light-node load generation against the
+//!   `biot-ingest` reactor over real sockets.
 //! * [`fleet`] — many honest nodes + attackers on one gateway (isolation).
 //! * [`wireless`] — multi-hop sensor topologies with relay failures.
 //! * [`throughput`] — tangle vs chain effective-TPS comparison (§II).
@@ -42,6 +44,7 @@ pub mod cluster;
 pub mod factory;
 pub mod fleet;
 pub mod gossip;
+pub mod loadgen;
 pub mod pi;
 pub mod runner;
 pub mod throughput;
