@@ -119,6 +119,23 @@ impl TcpTransport {
         self.rx_compacted
     }
 
+    /// Whether the rx buffer already holds a complete frame — i.e. the
+    /// next [`Transport::try_recv`] would produce a frame (or a framing
+    /// error) without the socket saying anything new. Event loops that
+    /// budget frames per tick need this: a level-triggered poller only
+    /// reports *kernel* readiness, so frames drained into userspace but
+    /// not yet decoded must be revisited explicitly.
+    pub fn has_buffered_frame(&self) -> bool {
+        let live = &self.rx[self.rx_pos..];
+        if live.len() < 4 {
+            return false;
+        }
+        let len = u32::from_be_bytes([live[0], live[1], live[2], live[3]]) as usize;
+        // An oversized prefix counts: the pending TooLarge error must
+        // surface without waiting for more bytes.
+        len > MAX_FRAME_BYTES || live.len() >= 4 + len
+    }
+
     /// The raw socket fd, for readiness registration with an event loop
     /// (see `biot-ingest`). The transport keeps ownership; do not close it.
     #[cfg(unix)]
@@ -480,6 +497,47 @@ mod tests {
             server.rx_compacted_bytes(),
             wire_bytes
         );
+    }
+
+    #[test]
+    fn buffered_frame_detection_tracks_rx_state() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let _client = TcpTransport::connect(addr).unwrap();
+        let mut server = poll_until(|| acceptor.try_accept().unwrap());
+
+        // Stuff the rx buffer directly (same module, so internals are
+        // reachable) — the socket never has to cooperate, which keeps
+        // the multi-frames-in-one-fill case deterministic.
+        assert!(!server.has_buffered_frame(), "empty buffer");
+        server.rx.extend_from_slice(&3u32.to_be_bytes());
+        server.rx.extend_from_slice(b"one");
+        server.rx.extend_from_slice(&3u32.to_be_bytes());
+        server.rx.extend_from_slice(b"two");
+        assert!(server.has_buffered_frame());
+        assert_eq!(server.pop_frame().unwrap().unwrap(), b"one");
+        assert!(
+            server.has_buffered_frame(),
+            "second frame still parked after popping the first"
+        );
+        assert_eq!(server.pop_frame().unwrap().unwrap(), b"two");
+        assert!(!server.has_buffered_frame(), "drained");
+
+        // Partial header, then partial payload: not yet a frame.
+        server.rx.extend_from_slice(&10u32.to_be_bytes()[..2]);
+        assert!(!server.has_buffered_frame());
+        server.rx.extend_from_slice(&10u32.to_be_bytes()[2..]);
+        server.rx.extend_from_slice(&[0u8; 9]);
+        assert!(!server.has_buffered_frame());
+        server.rx.extend_from_slice(&[0u8; 1]);
+        assert!(server.has_buffered_frame());
+        assert_eq!(server.pop_frame().unwrap().unwrap(), vec![0u8; 10]);
+
+        // An oversized length prefix is "buffered": the pending error
+        // must be revisited, not parked forever.
+        server.rx.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(server.has_buffered_frame());
+        assert!(matches!(server.pop_frame(), Err(TransportError::TooLarge(_))));
     }
 
     #[test]

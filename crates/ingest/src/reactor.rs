@@ -48,6 +48,13 @@ pub struct Event {
     pub readable: bool,
     /// The fd is writable.
     pub writable: bool,
+    /// The peer hung up or the socket errored (`EPOLLHUP`/`EPOLLERR`).
+    /// The kernel reports these regardless of the registered interest,
+    /// so even a parked (zero-interest) fd gets them — the caller must
+    /// reap such connections instead of ignoring the event, or a dead
+    /// parked socket re-fires every tick. Always `false` for the scan
+    /// poller, whose reads discover failures in-band.
+    pub hangup: bool,
 }
 
 /// Which poller implementation to run.
@@ -158,7 +165,12 @@ impl Poller for ScanPoller {
             if !interest.readable && !interest.writable {
                 return None;
             }
-            Some(Event { token, readable: interest.readable, writable: interest.writable })
+            Some(Event {
+                token,
+                readable: interest.readable,
+                writable: interest.writable,
+                hangup: false,
+            })
         }));
         Ok(())
     }
@@ -246,6 +258,9 @@ mod epoll_impl {
                         & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
                         != 0,
                     writable: bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0,
+                    // Reported even for zero-interest registrations —
+                    // the caller's cue to reap a parked dead socket.
+                    hangup: bits & (sys::EPOLLHUP | sys::EPOLLERR) != 0,
                 });
             }
             // A full buffer means more may be pending: grow so a flood

@@ -32,6 +32,18 @@
 //! High-water marks for all three are tracked in [`IngestStats`], and the
 //! stalled-client test in `tests/ingest_e2e.rs` asserts they hold while
 //! healthy connections keep admitting.
+//!
+//! Two more states are bounded by explicit sweeps rather than caps:
+//!
+//! * **front-end limiter buckets** — keyed by connection token, and
+//!   tokens are never reused, so the idle sweep also compacts the
+//!   [`RateLimiter`] with a cutoff trailing the idle timeout; bucket
+//!   count tracks *live* connections, not total arrivals;
+//! * **frames parked past the tick budget** — the transport drains the
+//!   whole kernel buffer into userspace, so frames beyond
+//!   [`IngestConfig::frames_per_tick`] would never re-trigger a
+//!   level-triggered poller; connections still holding a complete
+//!   buffered frame go on the resume list and are serviced next tick.
 
 use crate::protocol::{
     decode_client, encode_server, AckCode, AckResult, ClientMsg, ServerMsg,
@@ -49,6 +61,12 @@ use std::net::{SocketAddr, ToSocketAddrs};
 
 /// Token under which the listening socket is registered.
 const ACCEPTOR_TOKEN: usize = usize::MAX;
+
+/// How long the listener stays parked after a non-transient accept
+/// failure (fd exhaustion and kin). Level-triggered readiness would
+/// otherwise re-fire the doomed accept every tick; parking trades a
+/// short admission delay for not hot-spinning while the failure lasts.
+const ACCEPT_BACKOFF_MS: u64 = 50;
 
 /// Tuning knobs for the ingest front end. Defaults serve thousands of
 /// connections on one core; every knob exists to keep some buffer finite.
@@ -111,6 +129,9 @@ pub struct IngestStats {
     pub conns_dropped: u64,
     /// Connections dropped by the idle timeout.
     pub conns_timed_out: u64,
+    /// Non-transient accept failures (fd exhaustion and kin); each also
+    /// parks the listener for a short backoff.
+    pub accept_errors: u64,
     /// Well-formed frames decoded.
     pub frames_in: u64,
     /// Malformed frames (each also drops its connection).
@@ -196,9 +217,13 @@ pub struct IngestServer {
     config: IngestConfig,
     stats: IngestStats,
     events: Vec<Event>,
-    /// Connections unpaused this tick whose buffered frames must be
-    /// serviced even without a fresh readiness event.
+    /// Connections whose buffered frames must be serviced next tick
+    /// even without a fresh readiness event: unpaused this tick, or
+    /// still holding complete frames after the per-tick budget.
     resume: Vec<usize>,
+    /// When a parked listener re-arms (set on non-transient accept
+    /// failure; `None` while accepting normally).
+    accept_resume_at: Option<SimTime>,
     last_sweep: SimTime,
     admission_log: Vec<AdmissionRecord>,
 }
@@ -243,6 +268,7 @@ impl IngestServer {
             stats: IngestStats::default(),
             events: Vec::new(),
             resume: Vec::new(),
+            accept_resume_at: None,
             last_sweep: SimTime::ZERO,
             admission_log: Vec::new(),
         })
@@ -278,6 +304,13 @@ impl IngestServer {
         self.inflight
     }
 
+    /// Token buckets currently tracked by the front-end limiter — `0`
+    /// when rate limiting is off. Bounded by the idle sweep's periodic
+    /// [`RateLimiter::compact`], not by total connections ever accepted.
+    pub fn rate_buckets(&self) -> usize {
+        self.limiter.as_ref().map_or(0, RateLimiter::tracked_nodes)
+    }
+
     /// Drains the recorded admission stream (only filled when
     /// [`IngestConfig::record_admissions`] is set).
     pub fn take_admission_log(&mut self) -> Vec<AdmissionRecord> {
@@ -299,11 +332,38 @@ impl IngestServer {
         timeout_ms: i32,
     ) -> io::Result<PollProgress> {
         let mut progress = PollProgress::default();
+        // Pending local work must not wait out the poll timeout: frames
+        // parked in userspace produce no kernel readiness, and a parked
+        // listener re-arms on a deadline, not an event.
+        let backoff = i32::try_from(ACCEPT_BACKOFF_MS).expect("small constant");
+        let timeout_ms = if !self.resume.is_empty() {
+            0
+        } else if self.accept_resume_at.is_some() && !(0..=backoff).contains(&timeout_ms) {
+            // Negative means "block forever" — still wake for the re-arm.
+            backoff
+        } else {
+            timeout_ms
+        };
         let mut events = std::mem::take(&mut self.events);
         self.poller.poll(&mut events, timeout_ms)?;
         progress.events = events.len();
 
-        // Connections unpaused last tick may still hold buffered frames.
+        if let Some(at) = self.accept_resume_at {
+            if now >= at {
+                self.accept_resume_at = None;
+                let _ = self.poller.reregister(
+                    self.acceptor.raw_fd(),
+                    ACCEPTOR_TOKEN,
+                    Interest::READ,
+                );
+                // The parked listener produced no event this tick; drain
+                // whatever queued in the backlog during the backoff.
+                self.accept_burst(now)?;
+            }
+        }
+
+        // Connections with frames already buffered in userspace (unpaused
+        // last tick, or past the frame budget) produce no kernel event.
         let resume = std::mem::take(&mut self.resume);
         for token in resume {
             self.read_conn(token, now, &mut progress);
@@ -312,6 +372,14 @@ impl IngestServer {
         for ev in &events {
             if ev.token == ACCEPTOR_TOKEN {
                 self.accept_burst(now)?;
+                continue;
+            }
+            // EPOLLHUP/EPOLLERR ignore the interest mask, so a dead
+            // *paused* socket re-fires every tick while read_conn bails
+            // on `paused` — reap it now instead of busy-looping until
+            // the idle sweep gets there.
+            if ev.hangup && self.conns.get(&ev.token).is_some_and(|c| c.paused) {
+                self.close_conn(ev.token, false);
                 continue;
             }
             if ev.writable {
@@ -334,9 +402,25 @@ impl IngestServer {
     fn accept_burst(&mut self, now: SimTime) -> io::Result<()> {
         let batch = match self.acceptor.try_accept_all(self.config.accept_burst) {
             Ok(batch) => batch,
-            // Transient per-connection accept failures (e.g. the peer
-            // reset before we got to it) are not loop-fatal.
-            Err(_) => return Ok(()),
+            // The connection at the head of the backlog died before we
+            // got to it — its failure, not the listener's.
+            Err(ref e) if is_transient_accept_error(e) => return Ok(()),
+            // Resource exhaustion (EMFILE/ENFILE/ENOMEM): the pending
+            // connection stays in the backlog, so level-triggered
+            // readiness would re-fire the doomed accept every tick.
+            // Account for it and park the listener briefly instead.
+            Err(_) => {
+                self.stats.accept_errors += 1;
+                self.accept_resume_at = Some(SimTime::from_millis(
+                    now.as_millis().saturating_add(ACCEPT_BACKOFF_MS),
+                ));
+                let _ = self.poller.reregister(
+                    self.acceptor.raw_fd(),
+                    ACCEPTOR_TOKEN,
+                    Interest::NONE,
+                );
+                return Ok(());
+            }
         };
         for mut transport in batch {
             if self.conns.len() >= self.config.max_connections {
@@ -407,6 +491,19 @@ impl IngestServer {
             self.stats.frames_in += 1;
             progress.frames += 1;
             self.enqueue_submission(token, msg, now);
+        }
+        // Budget exhausted, but the transport drained the whole kernel
+        // buffer into userspace: a level-triggered poller sees nothing
+        // left to report, so any complete frame still parked there must
+        // be revisited explicitly or the client deadlocks awaiting acks
+        // it pipelined past the budget.
+        if let Some(conn) = self.conns.get(&token) {
+            if !conn.paused
+                && conn.transport.has_buffered_frame()
+                && !self.resume.contains(&token)
+            {
+                self.resume.push(token);
+            }
         }
         self.update_interest(token);
     }
@@ -582,10 +679,25 @@ impl IngestServer {
 
     fn sweep_idle(&mut self, now: SimTime) {
         let timeout = self.config.idle_timeout_ms;
-        if timeout == 0 || now.millis_since(self.last_sweep) < timeout / 4 + 1 {
+        // Limiter buckets are keyed by connection token and tokens are
+        // never reused, so under churn they must be compacted even when
+        // idle disconnects are disabled — fall back to a fixed horizon.
+        let horizon = if timeout == 0 { 60_000 } else { timeout };
+        if now.millis_since(self.last_sweep) < horizon / 4 + 1 {
             return;
         }
         self.last_sweep = now;
+        // The cutoff trails the idle timeout: any bucket older than that
+        // belongs to a connection that is closed or about to be swept,
+        // so dropping it never changes a live connection's decisions.
+        if let Some(limiter) = self.limiter.as_mut() {
+            limiter.compact(SimTime::from_millis(
+                now.as_millis().saturating_sub(horizon),
+            ));
+        }
+        if timeout == 0 {
+            return;
+        }
         let dead: Vec<usize> = self
             .conns
             .iter()
@@ -635,4 +747,42 @@ fn conn_limiter_key(token: usize) -> NodeId {
     let mut id = [0xC0u8; 32];
     id[..8].copy_from_slice(&(token as u64).to_be_bytes());
     NodeId(id)
+}
+
+/// Whether an accept failure concerns only the connection being accepted
+/// (keep accepting) rather than the listener or the process (park and
+/// back off: fd or memory exhaustion persists across retries).
+fn is_transient_accept_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accept_error_classification() {
+        for kind in [
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+        ] {
+            assert!(is_transient_accept_error(&io::Error::from(kind)), "{kind:?}");
+        }
+        // EMFILE (24 on Linux) and friends surface as uncategorized or
+        // resource errors — anything unrecognized must take the backoff
+        // path, never the silent-retry path.
+        let emfile = io::Error::from_raw_os_error(24);
+        assert!(!is_transient_accept_error(&emfile));
+        assert!(!is_transient_accept_error(&io::Error::from(
+            io::ErrorKind::OutOfMemory
+        )));
+    }
 }

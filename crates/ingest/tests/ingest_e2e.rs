@@ -199,6 +199,125 @@ fn server_admissions_bit_identical_to_direct_submit_batch() {
     assert_eq!(acked_ids, logged_ids);
 }
 
+/// A client that pipelines far more frames than `frames_per_tick` and
+/// only then starts reading acks. The transport drains the whole kernel
+/// buffer into userspace on first contact, so every frame past the
+/// budget is invisible to a level-triggered poller — serving them
+/// requires the reactor's resume list. Before that fix this deadlocked:
+/// the server went silent after the first budget's worth of acks and the
+/// client was eventually reaped by the idle sweep.
+#[test]
+fn pipelined_frames_beyond_tick_budget_all_acked() {
+    const FRAMES: usize = 40;
+    let world = build_world(0xB1D6E7, 3, FRAMES);
+    let mut gateway = world.gateway;
+    let mut server = IngestServer::bind(
+        "127.0.0.1:0",
+        IngestConfig {
+            frames_per_tick: 4,
+            ..IngestConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let txs = world.pool.clone();
+    let client_done = Arc::clone(&done);
+    let client = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        for tx in &txs {
+            write_frame(&mut stream, &encode_client(&ClientMsg::SubmitTx(tx.clone())));
+        }
+        let mut acks = Vec::with_capacity(FRAMES);
+        for _ in 0..FRAMES {
+            let mut results = read_ack(&mut stream);
+            assert_eq!(results.len(), 1, "one result per SubmitTx");
+            acks.push(results.remove(0));
+        }
+        client_done.fetch_add(1, Ordering::Release);
+        acks
+    });
+    serve_until_done(&mut server, &mut gateway, &done, 1);
+    let acks = client.join().expect("pipelining client");
+
+    assert!(
+        acks.iter().all(|a| a.code == AckCode::Accepted),
+        "every pipelined frame acked: {acks:?}"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.frames_in as usize, FRAMES);
+    assert_eq!(stats.txs_admitted as usize, FRAMES);
+    assert_eq!(stats.conns_timed_out, 0, "nobody starved into the idle sweep");
+}
+
+/// Connection churn with rate limiting on: bucket state is keyed by
+/// never-reused connection tokens, so without the idle sweep's limiter
+/// compaction it would grow with total arrivals, not live connections.
+/// Virtual time is driven explicitly so the sweep horizon elapses
+/// without wall-clock waits.
+#[test]
+fn connection_churn_compacts_limiter_buckets() {
+    const WAVES: usize = 8;
+    const CLIENTS_PER_WAVE: usize = 4;
+    let world = build_world(0x11317E6, 3, WAVES * CLIENTS_PER_WAVE);
+    let mut gateway = world.gateway;
+    let mut server = IngestServer::bind(
+        "127.0.0.1:0",
+        IngestConfig {
+            rate_limit: Some(RateLimitConfig::default()),
+            idle_timeout_ms: 200,
+            ..IngestConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+
+    for wave in 0..WAVES {
+        let now = SimTime::from_millis(wave as u64 * 1_000);
+        let done = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..CLIENTS_PER_WAVE)
+            .map(|c| {
+                let txs = vec![world.pool[wave * CLIENTS_PER_WAVE + c].clone()];
+                let client_done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let acks = submit_one_by_one(addr, txs);
+                    client_done.fetch_add(1, Ordering::Release);
+                    acks
+                })
+            })
+            .collect();
+        while done.load(Ordering::Acquire) < CLIENTS_PER_WAVE {
+            server.poll(&mut gateway, now, 1).expect("server poll");
+        }
+        for handle in handles {
+            let acks = handle.join().expect("wave client");
+            assert!(
+                acks.iter().all(|a| a.code == AckCode::Accepted),
+                "wave {wave} admitted: {acks:?}"
+            );
+        }
+        // One more tick well past the idle horizon: the sweep's cutoff
+        // trails the timeout, so earlier waves' buckets must be gone.
+        server
+            .poll(&mut gateway, SimTime::from_millis(wave as u64 * 1_000 + 900), 1)
+            .expect("sweep poll");
+        assert!(
+            server.rate_buckets() <= CLIENTS_PER_WAVE,
+            "wave {wave}: {} buckets survived — state grows with arrivals",
+            server.rate_buckets()
+        );
+    }
+    assert_eq!(
+        server.stats().conns_accepted as usize,
+        WAVES * CLIENTS_PER_WAVE,
+        "every wave actually churned a fresh connection"
+    );
+}
+
 // --- 2. Bounded backpressure ---------------------------------------------
 
 #[test]
