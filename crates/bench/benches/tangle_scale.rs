@@ -1,0 +1,44 @@
+//! Criterion view of the sealed-cone weight index: per-attach cost at
+//! ledger depth, sealed vs unsealed, on the same seeded graph. The full
+//! 1M-transaction report lives in the `tangle_scale_report` bin; this
+//! bench keeps the comparison wall-clock-tracked at a depth criterion can
+//! afford to iterate.
+
+use biot_bench::scale::{probe_attach, run_sealed_ingest, ScaleConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_attach_at_depth(c: &mut Criterion) {
+    let cfg = ScaleConfig {
+        txs: 10_000,
+        oracle_every: 2_500,
+        ..ScaleConfig::default()
+    };
+    let (sealed, report) = run_sealed_ingest(&cfg);
+    assert_eq!(report.oracle_failures, 0);
+    let mut unsealed = sealed.clone();
+    unsealed.unseal_all();
+
+    let mut group = c.benchmark_group("attach_at_depth_10k");
+    group.sample_size(10);
+    group.bench_function("sealed", |b| {
+        b.iter(|| black_box(probe_attach(&sealed, 64, 1)))
+    });
+    group.bench_function("unsealed", |b| {
+        b.iter(|| black_box(probe_attach(&unsealed, 64, 1)))
+    });
+    group.finish();
+}
+
+fn bench_sealed_ingest(c: &mut Criterion) {
+    c.bench_function("sealed_ingest_5k", |b| {
+        let cfg = ScaleConfig {
+            txs: 5_000,
+            oracle_every: 0,
+            ..ScaleConfig::default()
+        };
+        b.iter(|| black_box(run_sealed_ingest(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench_attach_at_depth, bench_sealed_ingest);
+criterion_main!(benches);

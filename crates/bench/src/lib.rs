@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scale;
+
 /// Prints a report header with a title and paper reference.
 pub fn header(title: &str, paper_ref: &str) {
     println!("{}", "=".repeat(72));

@@ -26,6 +26,7 @@ use biot_tangle::conflict::{LazyTipPolicy, LazyVerdict};
 use biot_tangle::graph::{Tangle, TangleError};
 use biot_tangle::tips::{SelectorConfig, TipSelector};
 use biot_tangle::tx::{NodeId, Payload, Transaction, TransactionBuilder, TxId};
+use biot_tangle::view::TangleView;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -102,6 +103,14 @@ pub struct GatewayConfig {
     /// [`Gateway::take_credit_events`]. Off by default for the same
     /// reason as `record_broadcasts`.
     pub record_credit_events: bool,
+    /// Seal confirmed cones after each [`Gateway::refresh`], keeping the
+    /// per-attach weight walk bounded by the unconfirmed frontier instead
+    /// of ledger depth. The value is the recency lag handed to
+    /// [`Tangle::seal_frontier`]: how many recently attached transactions
+    /// to keep *outside* the seal so in-flight walks still see mutable
+    /// entries. `None` (the default) never seals — the historical
+    /// behaviour, and the right choice for short runs.
+    pub seal_lag: Option<usize>,
 }
 
 impl Default for GatewayConfig {
@@ -115,6 +124,7 @@ impl Default for GatewayConfig {
             tip_selector: SelectorConfig::default(),
             record_broadcasts: false,
             record_credit_events: false,
+            seal_lag: None,
         }
     }
 }
@@ -348,6 +358,16 @@ impl Gateway {
     /// The ledger replica.
     pub fn tangle(&self) -> &Tangle {
         &self.tangle
+    }
+
+    /// A point-in-time, read-lock-free snapshot of the ledger for
+    /// concurrent tip selection and weight queries (see
+    /// [`biot_tangle::view`]). The sealed epoch is shared by `Arc`, so
+    /// the cost is proportional to the unconfirmed frontier, not ledger
+    /// depth. `recency_tail` bounds how much of the recency window the
+    /// view carries for lazy-tip checks.
+    pub fn tangle_view(&self, recency_tail: usize) -> TangleView {
+        self.tangle.view(recency_tail)
     }
 
     /// The credit ledger (read access for experiments).
@@ -647,6 +667,13 @@ impl Gateway {
             }
         }
         self.credits.compact(now);
+        if let Some(lag) = self.config.seal_lag {
+            // Credit for the freshly confirmed transactions is recorded
+            // above from their live weights, so sealing them now loses
+            // nothing: their future growth is absorbed by the pass
+            // counter and still reported exactly by `cumulative_weight`.
+            self.tangle.seal_frontier(lag);
+        }
         confirmed
     }
 

@@ -600,8 +600,10 @@ impl GossipNode {
                 self.ingest_remote(i, tx, attach_ms, now_ms);
             }
             Message::GetTips => {
-                let mut tips = self.tangle.lock().unwrap().tips();
-                tips.truncate(MAX_IDS_PER_TIPS);
+                let tips: Vec<TxId> = {
+                    let tangle = self.tangle.lock().unwrap();
+                    tangle.tips_iter().take(MAX_IDS_PER_TIPS).collect()
+                };
                 self.send_to(i, &Message::Tips(tips), now_ms);
             }
             Message::Tips(ids) => {
@@ -662,8 +664,10 @@ impl GossipNode {
             self.send_to(i, &Message::GetBaseline, now_ms);
         } else {
             self.send_to(i, &Message::GetTips, now_ms);
-            let mut tips = self.tangle.lock().unwrap().tips();
-            tips.truncate(MAX_IDS_PER_TIPS);
+            let tips: Vec<TxId> = {
+                let tangle = self.tangle.lock().unwrap();
+                tangle.tips_iter().take(MAX_IDS_PER_TIPS).collect()
+            };
             self.send_to(i, &Message::Tips(tips), now_ms);
         }
         for msg in buffered {

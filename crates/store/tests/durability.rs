@@ -1,7 +1,7 @@
 //! Property-based durability tests: any interleaving of appends and
 //! checkpoints must recover to exactly the live ledger.
 
-use biot_store::LedgerStore;
+use biot_store::{CheckpointPolicy, LedgerStore, StoreConfig};
 use biot_tangle::graph::Tangle;
 use biot_tangle::tx::{NodeId, Payload, TransactionBuilder};
 use proptest::prelude::*;
@@ -81,6 +81,71 @@ proptest! {
                 Op::Checkpoint => {
                     tangle.confirm_with_threshold(2);
                     store.checkpoint(&tangle).unwrap();
+                }
+            }
+        }
+
+        let recovered = LedgerStore::open(&dir.0)
+            .unwrap()
+            .recover()
+            .unwrap()
+            .expect("state exists");
+        prop_assert_eq!(recovered.len(), tangle.len());
+        prop_assert_eq!(recovered.tips(), tangle.tips());
+        for tx in tangle.iter() {
+            let id = tx.id();
+            prop_assert_eq!(recovered.get(&id), Some(tx));
+            prop_assert_eq!(
+                recovered.cumulative_weight(&id),
+                tangle.cumulative_weight(&id)
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_recovery_equals_live_state(
+        ops in ops_strategy(),
+        segment_bytes in 64u64..512,
+        compact_every in 1usize..6,
+    ) {
+        // Same interleaving property as above, but with tiny segments so
+        // the log rolls constantly, plus incremental compaction and
+        // policy-driven checkpoints sprinkled through the run.
+        let dir = TempDir::new();
+        let mut store =
+            LedgerStore::open_with_config(&dir.0, StoreConfig { segment_bytes }).unwrap();
+        let policy = CheckpointPolicy {
+            max_wal_bytes: 4 * segment_bytes,
+            max_segments: 6,
+        };
+        let mut tangle = Tangle::new();
+        let genesis = tangle.attach_genesis(NodeId([0; 32]), 0);
+        let genesis_tx = tangle.get(&genesis).unwrap().clone();
+        store.append(&genesis_tx, 0).unwrap();
+        let mut attached = vec![genesis];
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Attach(a, b, payload) => {
+                    let trunk = attached[a % attached.len()];
+                    let branch = attached[b % attached.len()];
+                    let tx = TransactionBuilder::new(NodeId([(i % 11) as u8 + 1; 32]))
+                        .parents(trunk, branch)
+                        .payload(Payload::Data(vec![*payload, i as u8]))
+                        .timestamp_ms(i as u64 + 1)
+                        .build();
+                    let at = i as u64 + 1;
+                    if let Ok(id) = tangle.attach(tx.clone(), at) {
+                        store.append(&tx, at).unwrap();
+                        attached.push(id);
+                    }
+                    if i % compact_every == 0 {
+                        store.compact_step().unwrap();
+                    }
+                }
+                Op::Checkpoint => {
+                    tangle.confirm_with_threshold(2);
+                    store.maybe_checkpoint(&tangle, &policy).unwrap();
                 }
             }
         }

@@ -5,6 +5,7 @@ use crate::tx::{Payload, Transaction, TxId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Validation status of an attached transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,18 +63,103 @@ impl std::error::Error for TangleError {}
 
 /// A stored transaction with its graph metadata.
 #[derive(Clone, Debug)]
-struct Entry {
-    tx: Transaction,
-    approvers: Vec<TxId>,
-    attach_time_ms: u64,
+pub(crate) struct Entry {
+    pub(crate) tx: Transaction,
+    pub(crate) approvers: Vec<TxId>,
+    pub(crate) attach_time_ms: u64,
     /// Monotone attach sequence number (true arrival order).
-    seq: u64,
-    status: TxStatus,
+    pub(crate) seq: u64,
+    pub(crate) status: TxStatus,
     /// Maintained cumulative weight: 1 (own) + distinct stored transactions
     /// that directly or indirectly approve this one. Updated on attach by
     /// walking the new transaction's ancestor cone; only ever grows while
     /// the entry is stored.
-    weight: u64,
+    ///
+    /// For sealed entries this is only the *base*: the effective weight is
+    /// `weight + (seal_pass - pass_base)` — see [`SealedEpoch`].
+    pub(crate) weight: u64,
+    /// Value of the tangle's pass counter when this entry was sealed
+    /// (0 while the entry is in the frontier).
+    pub(crate) pass_base: u64,
+}
+
+/// The immutable-by-default sealed region of the tangle: the confirmed
+/// ancestor cone of `anchor`, plus the anchor itself.
+///
+/// Sealing exploits a monotonicity fact: once a cone is confirmed its
+/// weights only ever grow by *pass-through* — a new transaction that
+/// approves the anchor approves the anchor's entire cone, so one global
+/// counter (`Tangle::seal_pass`) absorbs the increment for every sealed
+/// entry at once and the per-attach ancestor walk can stop at the sealed
+/// boundary. Transactions that reach into the cone *without* approving
+/// the anchor ("strays") fall back to an exact per-entry walk inside the
+/// sealed region.
+///
+/// The epoch lives behind an `Arc` so read-only views
+/// ([`crate::view::TangleView`]) share it without copying; the writer
+/// mutates it copy-on-write via [`std::sync::Arc::make_mut`] (approver
+/// pushes, stray bumps, pruning), cloning at most once per outstanding
+/// reader generation.
+#[derive(Clone, Debug)]
+pub(crate) struct SealedEpoch {
+    pub(crate) entries: HashMap<TxId, Entry>,
+    pub(crate) anchor: TxId,
+}
+
+/// Errors returned by [`Tangle::seal_to`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SealError {
+    /// The proposed anchor is not stored in the frontier.
+    UnknownAnchor(TxId),
+    /// The proposed anchor is already inside the sealed region (and is not
+    /// the current anchor).
+    AlreadySealed(TxId),
+    /// The proposed anchor is not confirmed.
+    NotConfirmed(TxId),
+    /// A transaction in the proposed anchor's cone is not confirmed.
+    UnconfirmedCone(TxId),
+    /// The proposed anchor does not approve the current anchor, so the
+    /// pass-through counter would under-count the old cone.
+    DoesNotApproveAnchor {
+        /// The rejected candidate.
+        candidate: TxId,
+        /// The current anchor it fails to approve.
+        anchor: TxId,
+    },
+}
+
+impl fmt::Display for SealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SealError::UnknownAnchor(id) => write!(f, "seal anchor {id:?} is not in the frontier"),
+            SealError::AlreadySealed(id) => write!(f, "seal anchor {id:?} is already sealed"),
+            SealError::NotConfirmed(id) => write!(f, "seal anchor {id:?} is not confirmed"),
+            SealError::UnconfirmedCone(id) => {
+                write!(f, "cone member {id:?} of the proposed anchor is not confirmed")
+            }
+            SealError::DoesNotApproveAnchor { candidate, anchor } => {
+                write!(f, "candidate {candidate:?} does not approve current anchor {anchor:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// Counters describing how the sealed weight index is behaving.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SealStats {
+    /// Successful [`Tangle::seal_to`] calls (anchor advances).
+    pub seals: u64,
+    /// Attaches absorbed by the pass-through counter (approved the anchor).
+    pub passes: u64,
+    /// Attaches that reached into the sealed cone without approving the
+    /// anchor and took the exact per-entry fallback walk.
+    pub strays: u64,
+    /// Entries currently sealed.
+    pub sealed_len: usize,
+    /// Entries currently in the mutable frontier.
+    pub frontier_len: usize,
 }
 
 /// A DAG-structured ledger (the tangle of paper §II-B).
@@ -97,21 +183,37 @@ struct Entry {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Tangle {
-    entries: HashMap<TxId, Entry>,
+    /// Mutable unsealed entries (the frontier). Hot path: every attach
+    /// inserts here and bumps weights here only.
+    pub(crate) frontier: HashMap<TxId, Entry>,
+    /// The sealed confirmed cone, shared copy-on-write with read views.
+    pub(crate) sealed: Option<std::sync::Arc<SealedEpoch>>,
+    /// Pass-through counter: how many attaches approved the current anchor
+    /// since its cone was sealed. Effective sealed weight =
+    /// `entry.weight + (seal_pass - entry.pass_base)`.
+    pub(crate) seal_pass: u64,
     /// Current tips (attached, not yet approved), ordered for determinism.
-    tips: BTreeSet<TxId>,
+    pub(crate) tips: BTreeSet<TxId>,
     /// First-seen valid spend per token.
     spends: HashMap<[u8; 32], TxId>,
     /// Ids removed by snapshotting; treated as known-confirmed ancestors.
-    pruned: HashSet<TxId>,
-    genesis: Option<TxId>,
+    /// Behind an `Arc` so read views share it without copying.
+    pub(crate) pruned: std::sync::Arc<HashSet<TxId>>,
+    pub(crate) genesis: Option<TxId>,
     /// Monotone count of everything ever attached (survives pruning).
-    total_attached: u64,
+    pub(crate) total_attached: u64,
     /// Stored ids in attach order (oldest first); pruned ids are dropped
     /// by [`Tangle::snapshot`]. This is the recency index behind
     /// [`Tangle::recent_non_tips`]: selecting a depth-constrained walk
     /// start costs O(window) instead of collect-and-sort O(n log n).
-    recency: Vec<TxId>,
+    pub(crate) recency: Vec<TxId>,
+    /// Pending (unconfirmed) ids, sorted. Keeps
+    /// [`Tangle::confirm_with_threshold`] O(pending) instead of O(stored).
+    pending: BTreeSet<TxId>,
+    /// Monotone seal/pass/stray counters for [`Tangle::seal_stats`].
+    seals_total: u64,
+    passes_total: u64,
+    strays_total: u64,
 }
 
 impl Tangle {
@@ -133,7 +235,7 @@ impl Tangle {
             .payload(Payload::Data(b"genesis".to_vec()))
             .build();
         let id = tx.id();
-        self.entries.insert(
+        self.frontier.insert(
             id,
             Entry {
                 tx,
@@ -142,6 +244,7 @@ impl Tangle {
                 seq: self.total_attached,
                 status: TxStatus::Confirmed,
                 weight: 1,
+                pass_base: 0,
             },
         );
         self.tips.insert(id);
@@ -149,6 +252,19 @@ impl Tangle {
         self.total_attached += 1;
         self.recency.push(id);
         id
+    }
+
+    /// Looks up a stored entry in the frontier or the sealed epoch.
+    pub(crate) fn entry(&self, id: &TxId) -> Option<&Entry> {
+        self.frontier
+            .get(id)
+            .or_else(|| self.sealed.as_ref().and_then(|ep| ep.entries.get(id)))
+    }
+
+    fn is_sealed_id(&self, id: &TxId) -> bool {
+        self.sealed
+            .as_ref()
+            .is_some_and(|ep| ep.entries.contains_key(id))
     }
 
     /// The genesis id, if one was attached.
@@ -174,14 +290,14 @@ impl Tangle {
     ///   punisher.
     pub fn attach(&mut self, tx: Transaction, now_ms: u64) -> Result<TxId, TangleError> {
         let id = tx.id();
-        if self.entries.contains_key(&id) || self.pruned.contains(&id) {
+        if self.entry(&id).is_some() || self.pruned.contains(&id) {
             return Err(TangleError::Duplicate(id));
         }
         for parent in tx.parents() {
             if parent == TxId::GENESIS_PARENT {
                 return Err(TangleError::InvalidGenesisReference(id));
             }
-            if !self.entries.contains_key(&parent) && !self.pruned.contains(&parent) {
+            if self.entry(&parent).is_none() && !self.pruned.contains(&parent) {
                 return Err(TangleError::UnknownParent { tx: id, parent });
             }
         }
@@ -200,12 +316,17 @@ impl Tangle {
             if i == 1 && parents[1] == parents[0] {
                 continue; // same parent twice counts once
             }
-            if let Some(entry) = self.entries.get_mut(parent) {
+            if let Some(entry) = self.frontier.get_mut(parent) {
                 entry.approvers.push(id);
+            } else if self.is_sealed_id(parent) {
+                let ep = Arc::make_mut(self.sealed.as_mut().expect("sealed id implies epoch"));
+                if let Some(entry) = ep.entries.get_mut(parent) {
+                    entry.approvers.push(id);
+                }
             }
             self.tips.remove(parent);
         }
-        self.entries.insert(
+        self.frontier.insert(
             id,
             Entry {
                 tx,
@@ -214,8 +335,10 @@ impl Tangle {
                 seq: self.total_attached,
                 status: TxStatus::Pending,
                 weight: 1,
+                pass_base: 0,
             },
         );
+        self.pending.insert(id);
         self.bump_ancestor_weights(&parents);
         self.tips.insert(id);
         self.total_attached += 1;
@@ -229,20 +352,77 @@ impl Tangle {
     /// approver exactly once per ancestor). Pruned parents terminate the
     /// walk — all stored ancestors of a pruned transaction are pruned in the
     /// same [`Tangle::snapshot`] call, so nothing stored hides behind them.
+    ///
+    /// The walk now also terminates at the **sealed boundary**: sealed
+    /// parents are collected instead of queued. If the anchor itself is on
+    /// the boundary, the new transaction approves the anchor and therefore
+    /// the anchor's *entire* cone — exactly the sealed set — so a single
+    /// `seal_pass` increment absorbs the bump for every sealed entry and the
+    /// walk stays O(frontier cone). Otherwise ("stray") an exact fallback
+    /// walk bumps the reachable sealed entries individually.
     fn bump_ancestor_weights(&mut self, parents: &[TxId]) {
         let mut seen: HashSet<TxId> = HashSet::new();
         let mut queue: VecDeque<TxId> = VecDeque::new();
+        let mut boundary: Vec<TxId> = Vec::new();
         for &p in parents {
             if p != TxId::GENESIS_PARENT && seen.insert(p) {
-                queue.push_back(p);
+                if self.frontier.contains_key(&p) {
+                    queue.push_back(p);
+                } else if self.is_sealed_id(&p) {
+                    boundary.push(p);
+                }
             }
         }
         while let Some(cur) = queue.pop_front() {
-            if let Some(entry) = self.entries.get_mut(&cur) {
+            let parents = {
+                let entry = self.frontier.get_mut(&cur).expect("queued ids are frontier");
                 entry.weight += 1;
-                for p in entry.tx.parents() {
-                    if p != TxId::GENESIS_PARENT && seen.insert(p) {
+                entry.tx.parents()
+            };
+            for p in parents {
+                if p != TxId::GENESIS_PARENT && seen.insert(p) {
+                    if self.frontier.contains_key(&p) {
                         queue.push_back(p);
+                    } else if self.is_sealed_id(&p) {
+                        boundary.push(p);
+                    }
+                }
+            }
+        }
+        if boundary.is_empty() {
+            return;
+        }
+        let anchor = self
+            .sealed
+            .as_ref()
+            .map(|ep| ep.anchor)
+            .expect("non-empty boundary implies a sealed epoch");
+        if boundary.contains(&anchor) {
+            // Pass-through: the new tx approves the anchor, hence every
+            // sealed entry. One counter bump covers the whole cone.
+            self.seal_pass += 1;
+            self.passes_total += 1;
+        } else {
+            // Stray: bump exactly the sealed ancestors reachable from the
+            // boundary. Parents of sealed entries are sealed or pruned, so
+            // this walk never re-enters the frontier.
+            self.strays_total += 1;
+            let ep = Arc::make_mut(self.sealed.as_mut().expect("checked above"));
+            let mut q: VecDeque<TxId> = boundary.into();
+            while let Some(cur) = q.pop_front() {
+                let parents = match ep.entries.get_mut(&cur) {
+                    Some(entry) => {
+                        entry.weight += 1;
+                        entry.tx.parents()
+                    }
+                    None => continue,
+                };
+                for p in parents {
+                    if p != TxId::GENESIS_PARENT
+                        && seen.insert(p)
+                        && ep.entries.contains_key(&p)
+                    {
+                        q.push_back(p);
                     }
                 }
             }
@@ -250,8 +430,23 @@ impl Tangle {
     }
 
     /// Returns the current tips in deterministic (id) order.
+    ///
+    /// Allocates a fresh `Vec`; hot paths should prefer the borrowing
+    /// [`Tangle::tips_set`] or [`Tangle::tips_iter`].
     pub fn tips(&self) -> Vec<TxId> {
         self.tips.iter().copied().collect()
+    }
+
+    /// Borrows the current tip set in deterministic (id) order — the
+    /// allocation-free counterpart of [`Tangle::tips`].
+    pub fn tips_set(&self) -> &BTreeSet<TxId> {
+        &self.tips
+    }
+
+    /// Iterates the current tips in deterministic (id) order without
+    /// allocating.
+    pub fn tips_iter(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.tips.iter().copied()
     }
 
     /// Number of current tips.
@@ -261,28 +456,28 @@ impl Tangle {
 
     /// Looks up a transaction.
     pub fn get(&self, id: &TxId) -> Option<&Transaction> {
-        self.entries.get(id).map(|e| &e.tx)
+        self.entry(id).map(|e| &e.tx)
     }
 
     /// Returns true if `id` is attached (pruned ids return false).
     pub fn contains(&self, id: &TxId) -> bool {
-        self.entries.contains_key(id)
+        self.entry(id).is_some()
     }
 
     /// Returns the status of an attached transaction.
     pub fn status(&self, id: &TxId) -> Option<TxStatus> {
-        self.entries.get(id).map(|e| e.status)
+        self.entry(id).map(|e| e.status)
     }
 
     /// Virtual time at which `id` was attached.
     pub fn attach_time_ms(&self, id: &TxId) -> Option<u64> {
-        self.entries.get(id).map(|e| e.attach_time_ms)
+        self.entry(id).map(|e| e.attach_time_ms)
     }
 
     /// Monotone attach sequence number of `id` (true arrival order, even
     /// among transactions sharing an attach instant).
     pub fn attach_seq(&self, id: &TxId) -> Option<u64> {
-        self.entries.get(id).map(|e| e.seq)
+        self.entry(id).map(|e| e.seq)
     }
 
     /// Stored ids in attach order, oldest first (the recency index).
@@ -317,20 +512,17 @@ impl Tangle {
 
     /// Direct approvers of `id` (transactions that chose it as a parent).
     pub fn approvers(&self, id: &TxId) -> &[TxId] {
-        self.entries
-            .get(id)
-            .map(|e| e.approvers.as_slice())
-            .unwrap_or(&[])
+        self.entry(id).map(|e| e.approvers.as_slice()).unwrap_or(&[])
     }
 
     /// Number of transactions currently stored (excludes pruned).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.frontier.len() + self.sealed.as_ref().map_or(0, |ep| ep.entries.len())
     }
 
     /// Returns true when nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Monotone count of every transaction ever attached.
@@ -340,7 +532,14 @@ impl Tangle {
 
     /// Iterates over all stored transactions in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
-        self.entries.values().map(|e| &e.tx)
+        self.frontier
+            .values()
+            .map(|e| &e.tx)
+            .chain(
+                self.sealed
+                    .iter()
+                    .flat_map(|ep| ep.entries.values().map(|e| &e.tx)),
+            )
     }
 
     /// The cumulative weight of `id`: 1 (own weight) plus the number of
@@ -354,7 +553,13 @@ impl Tangle {
     ///
     /// Returns 0 for unknown ids.
     pub fn cumulative_weight(&self, id: &TxId) -> u64 {
-        self.entries.get(id).map(|e| e.weight).unwrap_or(0)
+        if let Some(e) = self.frontier.get(id) {
+            return e.weight;
+        }
+        if let Some(e) = self.sealed.as_ref().and_then(|ep| ep.entries.get(id)) {
+            return e.weight + (self.seal_pass - e.pass_base);
+        }
+        0
     }
 
     /// Recounts the cumulative weight of `id` by breadth-first traversal of
@@ -365,7 +570,7 @@ impl Tangle {
     /// Returns 0 for unknown ids.
     #[doc(hidden)]
     pub fn cumulative_weight_recount(&self, id: &TxId) -> u64 {
-        if !self.entries.contains_key(id) {
+        if self.entry(id).is_none() {
             return 0;
         }
         let mut seen = HashSet::new();
@@ -373,7 +578,7 @@ impl Tangle {
         queue.push_back(*id);
         seen.insert(*id);
         while let Some(cur) = queue.pop_front() {
-            if let Some(entry) = self.entries.get(&cur) {
+            if let Some(entry) = self.entry(&cur) {
                 for &a in &entry.approvers {
                     if seen.insert(a) {
                         queue.push_back(a);
@@ -389,17 +594,24 @@ impl Tangle {
     ///
     /// This is the asynchronous analogue of bitcoin's six-block rule the
     /// paper mentions: weight accumulates as later transactions approve.
-    /// A single linear scan over the weight index — no per-transaction
-    /// traversal.
+    /// A single scan over the **pending index** — O(pending), not
+    /// O(stored), and sealed entries (always confirmed) are never touched.
     pub fn confirm_with_threshold(&mut self, threshold: u64) -> Vec<TxId> {
         let mut confirmed = Vec::new();
-        for (id, entry) in self.entries.iter_mut() {
-            if entry.status == TxStatus::Pending && entry.weight >= threshold {
-                entry.status = TxStatus::Confirmed;
-                confirmed.push(*id);
+        // `pending` is a sorted set, so the output stays id-ordered.
+        for id in &self.pending {
+            if let Some(entry) = self.frontier.get(id) {
+                if entry.weight >= threshold {
+                    confirmed.push(*id);
+                }
             }
         }
-        confirmed.sort();
+        for id in &confirmed {
+            self.pending.remove(id);
+            if let Some(entry) = self.frontier.get_mut(id) {
+                entry.status = TxStatus::Confirmed;
+            }
+        }
         confirmed
     }
 
@@ -414,7 +626,7 @@ impl Tangle {
         let mut queue = VecDeque::new();
         queue.push_back(*descendant);
         while let Some(cur) = queue.pop_front() {
-            if let Some(entry) = self.entries.get(&cur) {
+            if let Some(entry) = self.entry(&cur) {
                 for p in entry.tx.parents() {
                     if p == *ancestor {
                         return true;
@@ -435,10 +647,10 @@ impl Tangle {
         let mut queue = VecDeque::new();
         queue.push_back(*id);
         while let Some(cur) = queue.pop_front() {
-            if let Some(entry) = self.entries.get(&cur) {
+            if let Some(entry) = self.entry(&cur) {
                 for p in entry.tx.parents() {
                     if p != TxId::GENESIS_PARENT && seen.insert(p)
-                        && self.entries.contains_key(&p) {
+                        && self.contains(&p) {
                             out.push(p);
                             queue.push_back(p);
                         }
@@ -458,8 +670,8 @@ impl Tangle {
     /// later parent references remain valid. Tips and pending transactions
     /// are never pruned. Returns the number of transactions removed.
     pub fn snapshot(&mut self, before_ms: u64) -> usize {
-        let victims: Vec<TxId> = self
-            .entries
+        let mut victims: Vec<TxId> = self
+            .frontier
             .iter()
             .filter(|(id, e)| {
                 e.status == TxStatus::Confirmed
@@ -468,15 +680,59 @@ impl Tangle {
             })
             .map(|(id, _)| *id)
             .collect();
-        for id in &victims {
-            self.entries.remove(id);
-            self.pruned.insert(*id);
+        if let Some(ep) = &self.sealed {
+            // Sealed entries are confirmed by construction.
+            victims.extend(
+                ep.entries
+                    .iter()
+                    .filter(|(id, e)| e.attach_time_ms < before_ms && !self.tips.contains(id))
+                    .map(|(id, _)| *id),
+            );
         }
-        // Drop approver references to surviving entries only.
-        for entry in self.entries.values_mut() {
-            entry.approvers.retain(|a| !self.pruned.contains(a));
+        if victims.is_empty() {
+            return 0;
         }
-        self.recency.retain(|id| self.entries.contains_key(id));
+        let victim_set: HashSet<TxId> = victims.iter().copied().collect();
+        let mut anchor_pruned = false;
+        let mut parent_fixups: Vec<TxId> = Vec::with_capacity(victims.len() * 2);
+        {
+            let pruned = Arc::make_mut(&mut self.pruned);
+            for id in &victims {
+                let entry = if let Some(e) = self.frontier.remove(id) {
+                    e
+                } else {
+                    let ep = Arc::make_mut(self.sealed.as_mut().expect("victim is stored"));
+                    if *id == ep.anchor {
+                        anchor_pruned = true;
+                    }
+                    ep.entries.remove(id).expect("victim is stored")
+                };
+                pruned.insert(*id);
+                parent_fixups.extend(entry.tx.parents());
+            }
+        }
+        // Drop approver references held by surviving entries. Only the
+        // victims' direct parents can hold such references, so this is
+        // O(victims) — the full-ledger approver sweep this replaces never
+        // found anything elsewhere.
+        parent_fixups.sort();
+        parent_fixups.dedup();
+        for p in parent_fixups {
+            if let Some(entry) = self.frontier.get_mut(&p) {
+                entry.approvers.retain(|a| !victim_set.contains(a));
+            } else if self.is_sealed_id(&p) {
+                let ep = Arc::make_mut(self.sealed.as_mut().expect("sealed id implies epoch"));
+                if let Some(entry) = ep.entries.get_mut(&p) {
+                    entry.approvers.retain(|a| !victim_set.contains(a));
+                }
+            }
+        }
+        self.recency.retain(|id| !victim_set.contains(id));
+        if anchor_pruned || self.sealed.as_ref().is_some_and(|ep| ep.entries.is_empty()) {
+            // Without its anchor the pass counter has no meaning: fold the
+            // surviving sealed entries back into the frontier.
+            self.unseal_fold();
+        }
         victims.len()
     }
 
@@ -499,7 +755,7 @@ impl Tangle {
     /// attach normally, exactly as they would on the peer that pruned
     /// them.
     pub fn adopt_pruned(&mut self, ids: impl IntoIterator<Item = TxId>) {
-        self.pruned.extend(ids);
+        Arc::make_mut(&mut self.pruned).extend(ids);
     }
 
     /// Marks ids as pruned-known ancestors (snapshot restore only).
@@ -510,9 +766,193 @@ impl Tangle {
     /// Restores confirmation flags (snapshot restore only).
     pub(crate) fn force_confirm(&mut self, ids: impl IntoIterator<Item = TxId>) {
         for id in ids {
-            if let Some(e) = self.entries.get_mut(&id) {
+            if let Some(e) = self.frontier.get_mut(&id) {
                 e.status = TxStatus::Confirmed;
+                self.pending.remove(&id);
             }
+        }
+    }
+
+    // ----- sealed-cone weight index ------------------------------------
+
+    /// Seals the confirmed cone of `anchor`: moves the anchor and every
+    /// stored ancestor of it out of the frontier into the sealed epoch.
+    /// Subsequent attaches that approve the anchor bump one pass counter
+    /// instead of walking the cone, so the per-attach ancestor walk is
+    /// bounded by the frontier size. Returns how many entries were sealed.
+    ///
+    /// Requirements (checked): the anchor and its whole stored cone are
+    /// confirmed, and — when an epoch already exists — the new anchor
+    /// approves the current one (otherwise the pass counter would
+    /// under-count the old cone). Sealing to the current anchor is a no-op
+    /// returning `Ok(0)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SealError`].
+    pub fn seal_to(&mut self, anchor: TxId) -> Result<usize, SealError> {
+        if let Some(ep) = &self.sealed {
+            if ep.anchor == anchor {
+                return Ok(0);
+            }
+            if ep.entries.contains_key(&anchor) {
+                return Err(SealError::AlreadySealed(anchor));
+            }
+        }
+        match self.frontier.get(&anchor) {
+            None => return Err(SealError::UnknownAnchor(anchor)),
+            Some(e) if e.status != TxStatus::Confirmed => {
+                return Err(SealError::NotConfirmed(anchor))
+            }
+            Some(_) => {}
+        }
+        // Walk the anchor's cone through the frontier. Sealed parents stop
+        // the walk: the old sealed set is entirely inside the new cone as
+        // long as the new anchor approves the old one, which we verify by
+        // watching for the old anchor among the boundary hits (any path
+        // from the new anchor to the old one travels through frontier
+        // entries only, so the walk cannot miss it).
+        let old_anchor = self.sealed.as_ref().map(|ep| ep.anchor);
+        let mut saw_old_anchor = old_anchor.is_none();
+        let mut cone: HashSet<TxId> = HashSet::new();
+        let mut queue: VecDeque<TxId> = VecDeque::new();
+        cone.insert(anchor);
+        queue.push_back(anchor);
+        while let Some(cur) = queue.pop_front() {
+            let entry = self.frontier.get(&cur).expect("cone walk stays in frontier");
+            if entry.status != TxStatus::Confirmed {
+                return Err(SealError::UnconfirmedCone(cur));
+            }
+            for p in entry.tx.parents() {
+                if p == TxId::GENESIS_PARENT || !cone.insert(p) {
+                    continue;
+                }
+                if self.frontier.contains_key(&p) {
+                    queue.push_back(p);
+                } else {
+                    // Sealed or pruned parent: boundary of the walk.
+                    cone.remove(&p);
+                    if old_anchor == Some(p) {
+                        saw_old_anchor = true;
+                    }
+                }
+            }
+        }
+        if !saw_old_anchor {
+            return Err(SealError::DoesNotApproveAnchor {
+                candidate: anchor,
+                anchor: old_anchor.expect("saw_old_anchor starts true without an epoch"),
+            });
+        }
+        // Commit: move the cone into the epoch, stamping the current pass
+        // counter so effective weights are continuous across the seal.
+        let pass_base = self.seal_pass;
+        let mut moved: Vec<(TxId, Entry)> = Vec::with_capacity(cone.len());
+        for id in cone {
+            let mut e = self.frontier.remove(&id).expect("cone ids are frontier");
+            e.pass_base = pass_base;
+            moved.push((id, e));
+        }
+        let sealed_count = moved.len();
+        match &mut self.sealed {
+            Some(arc) => {
+                let ep = Arc::make_mut(arc);
+                ep.anchor = anchor;
+                ep.entries.extend(moved);
+            }
+            None => {
+                self.sealed = Some(Arc::new(SealedEpoch {
+                    entries: moved.into_iter().collect(),
+                    anchor,
+                }));
+            }
+        }
+        self.seals_total += 1;
+        Ok(sealed_count)
+    }
+
+    /// Picks a seal anchor automatically: the entry `lag` positions back in
+    /// the recency index, backing off exponentially deeper while the
+    /// candidate is unsealable (a tip, unconfirmed, has unconfirmed cone
+    /// members, or does not approve the current anchor). Returns the new
+    /// anchor if a seal happened.
+    ///
+    /// Call this on the confirmation cadence (e.g. from the gateway's
+    /// `refresh`): each successful seal re-bounds the attach walk to the
+    /// entries attached since the previous anchor.
+    pub fn seal_frontier(&mut self, lag: usize) -> Option<TxId> {
+        let len = self.recency.len();
+        let mut depth = lag.max(1);
+        loop {
+            if depth + 1 > len {
+                return None;
+            }
+            let idx = len - depth - 1;
+            let candidate = self.recency[idx];
+            let viable = self
+                .frontier
+                .get(&candidate)
+                .is_some_and(|e| e.status == TxStatus::Confirmed)
+                && !self.tips.contains(&candidate);
+            if viable && self.seal_to(candidate).is_ok() {
+                return Some(candidate);
+            }
+            if idx == 0 {
+                return None;
+            }
+            depth *= 2;
+        }
+    }
+
+    /// Folds every sealed entry back into the frontier, materialising its
+    /// effective weight, and clears the epoch. After this the tangle
+    /// behaves exactly like the never-sealed index (useful as a baseline
+    /// in benchmarks; also invoked internally when a snapshot prunes the
+    /// anchor).
+    pub fn unseal_all(&mut self) {
+        self.unseal_fold();
+    }
+
+    fn unseal_fold(&mut self) {
+        if let Some(arc) = self.sealed.take() {
+            let ep = Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone());
+            for (id, mut e) in ep.entries {
+                e.weight += self.seal_pass - e.pass_base;
+                e.pass_base = 0;
+                self.frontier.insert(id, e);
+            }
+        }
+        self.seal_pass = 0;
+    }
+
+    /// Number of sealed entries.
+    pub fn sealed_len(&self) -> usize {
+        self.sealed.as_ref().map_or(0, |ep| ep.entries.len())
+    }
+
+    /// Number of frontier (unsealed) entries.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// The current seal anchor, if an epoch exists.
+    pub fn seal_anchor(&self) -> Option<TxId> {
+        self.sealed.as_ref().map(|ep| ep.anchor)
+    }
+
+    /// Returns true if `id` is inside the sealed epoch.
+    pub fn is_sealed(&self, id: &TxId) -> bool {
+        self.is_sealed_id(id)
+    }
+
+    /// Monotone counters describing the sealed index's behaviour.
+    pub fn seal_stats(&self) -> SealStats {
+        SealStats {
+            seals: self.seals_total,
+            passes: self.passes_total,
+            strays: self.strays_total,
+            sealed_len: self.sealed_len(),
+            frontier_len: self.frontier_len(),
         }
     }
 }
@@ -902,5 +1342,216 @@ mod tests {
                 assert_eq!(t.status(&id), Some(TxStatus::Confirmed));
             }
         }
+    }
+
+    /// Grows a linear chain of `n` transactions off `from`, returning ids.
+    fn grow_chain(t: &mut Tangle, from: TxId, n: usize, t0: u64) -> Vec<TxId> {
+        let mut prev = from;
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            let ts = t0 + i as u64 + 1;
+            prev = t.attach(data_tx((i % 251) as u8, prev, prev, ts), ts).unwrap();
+            ids.push(prev);
+        }
+        ids
+    }
+
+    #[test]
+    fn sealing_absorbs_pass_through_attaches() {
+        let (mut t, g) = with_genesis();
+        let mut ids = vec![g];
+        ids.extend(grow_chain(&mut t, g, 30, 0));
+        t.confirm_with_threshold(3);
+        let anchor = ids[20];
+        assert_eq!(t.status(&anchor), Some(TxStatus::Confirmed));
+        assert_eq!(t.seal_to(anchor), Ok(21), "genesis..=ids[20]");
+        assert_eq!(t.sealed_len(), 21);
+        assert_eq!(t.seal_anchor(), Some(anchor));
+        assert!(t.is_sealed(&g) && t.is_sealed(&anchor) && !t.is_sealed(&ids[25]));
+        // Re-sealing to the same anchor is a no-op.
+        assert_eq!(t.seal_to(anchor), Ok(0));
+        // Chain extensions approve the anchor: pure pass-through.
+        grow_chain(&mut t, *ids.last().unwrap(), 10, 100);
+        let stats = t.seal_stats();
+        assert_eq!(stats.passes, 10);
+        assert_eq!(stats.strays, 0);
+        assert_index_matches_oracle(&t);
+        assert_eq!(t.cumulative_weight(&g), t.len() as u64);
+    }
+
+    #[test]
+    fn stray_attach_into_sealed_cone_is_exact() {
+        let (mut t, g) = with_genesis();
+        let mut ids = vec![g];
+        ids.extend(grow_chain(&mut t, g, 12, 0));
+        t.confirm_with_threshold(3);
+        t.seal_to(ids[8]).unwrap();
+        // Approve only deep sealed entries: anchor not on the boundary.
+        let stray = t.attach(data_tx(9, ids[3], ids[5], 50), 50).unwrap();
+        assert_eq!(t.seal_stats().strays, 1);
+        assert_eq!(t.seal_stats().passes, 0);
+        assert!(t.tips().contains(&stray));
+        assert_index_matches_oracle(&t);
+        // A mixed attach (one sealed parent + the chain tip whose cone
+        // reaches the anchor) is a pass: it approves the anchor through
+        // the chain.
+        t.attach(data_tx(10, ids[12], ids[2], 51), 51).unwrap();
+        assert_eq!(t.seal_stats().passes, 1);
+        assert_index_matches_oracle(&t);
+    }
+
+    #[test]
+    fn seal_to_rejects_bad_anchors() {
+        let (mut t, g) = with_genesis();
+        let ids = grow_chain(&mut t, g, 10, 0);
+        // Pending anchor.
+        assert_eq!(t.seal_to(ids[9]), Err(SealError::NotConfirmed(ids[9])));
+        // Unknown anchor.
+        let ghost = TxId([0xAB; 32]);
+        assert_eq!(t.seal_to(ghost), Err(SealError::UnknownAnchor(ghost)));
+        t.confirm_with_threshold(3);
+        t.seal_to(ids[5]).unwrap();
+        // Anchor already inside the sealed cone.
+        assert_eq!(t.seal_to(ids[2]), Err(SealError::AlreadySealed(ids[2])));
+        // A side branch off the (sealed) genesis never approves the anchor.
+        let side = t.attach(data_tx(7, ids[1], ids[1], 40), 40).unwrap();
+        let side2 = t.attach(data_tx(8, side, side, 41), 41).unwrap();
+        let _side3 = t.attach(data_tx(9, side2, side2, 42), 42).unwrap();
+        t.confirm_with_threshold(2);
+        assert_eq!(
+            t.seal_to(side),
+            Err(SealError::DoesNotApproveAnchor { candidate: side, anchor: ids[5] })
+        );
+        assert_index_matches_oracle(&t);
+    }
+
+    #[test]
+    fn unseal_all_folds_effective_weights() {
+        let (mut t, g) = with_genesis();
+        let ids = grow_chain(&mut t, g, 25, 0);
+        t.confirm_with_threshold(3);
+        t.seal_to(ids[15]).unwrap();
+        grow_chain(&mut t, ids[24], 5, 100); // accumulate passes
+        let before: Vec<(TxId, u64)> = t
+            .attach_order()
+            .iter()
+            .map(|id| (*id, t.cumulative_weight(id)))
+            .collect();
+        t.unseal_all();
+        assert_eq!(t.sealed_len(), 0);
+        assert_eq!(t.seal_anchor(), None);
+        for (id, w) in before {
+            assert_eq!(t.cumulative_weight(&id), w, "fold changed weight of {id:?}");
+        }
+        assert_index_matches_oracle(&t);
+        // The unsealed tangle keeps working normally.
+        let tip = *t.tips().last().unwrap();
+        grow_chain(&mut t, tip, 3, 200);
+        assert_index_matches_oracle(&t);
+    }
+
+    #[test]
+    fn seal_frontier_advances_anchor_with_growth() {
+        let (mut t, g) = with_genesis();
+        let mut tip = g;
+        for round in 0..6u64 {
+            let ids = grow_chain(&mut t, tip, 20, round * 100);
+            tip = *ids.last().unwrap();
+            t.confirm_with_threshold(3);
+            t.seal_frontier(4);
+            assert_index_matches_oracle(&t);
+        }
+        let stats = t.seal_stats();
+        assert!(stats.seals >= 2, "anchor advanced: {stats:?}");
+        assert!(stats.sealed_len > 0);
+        // Frontier stays bounded by the seal cadence, not total size.
+        assert!(stats.frontier_len < 40, "frontier {} not bounded", stats.frontier_len);
+    }
+
+    #[test]
+    fn snapshot_pruning_anchor_folds_the_epoch() {
+        let (mut t, g) = with_genesis();
+        let ids = grow_chain(&mut t, g, 20, 0);
+        t.confirm_with_threshold(2);
+        t.seal_to(ids[10]).unwrap();
+        grow_chain(&mut t, ids[19], 4, 100);
+        // Prune everything confirmed and old — including the anchor.
+        let removed = t.snapshot(21);
+        assert!(removed > 0);
+        assert_eq!(t.sealed_len(), 0, "anchor pruned => epoch folded");
+        assert_index_matches_oracle(&t);
+        // Attaching against the pruned anchor still works.
+        let tip = *t.tips().last().unwrap();
+        t.attach(data_tx(5, ids[10], tip, 200), 200).unwrap();
+        assert_index_matches_oracle(&t);
+    }
+
+    #[test]
+    fn snapshot_prunes_inside_sealed_epoch() {
+        let (mut t, g) = with_genesis();
+        let ids = grow_chain(&mut t, g, 30, 0);
+        t.confirm_with_threshold(2);
+        t.seal_to(ids[25]).unwrap();
+        // Prune only the oldest half of the sealed cone; the anchor (at
+        // ts 26) survives, so the epoch stays live.
+        let removed = t.snapshot(12);
+        assert!(removed > 0);
+        assert!(t.sealed_len() > 0);
+        assert_eq!(t.seal_anchor(), Some(ids[25]));
+        assert_index_matches_oracle(&t);
+        grow_chain(&mut t, ids[29], 5, 100);
+        assert_index_matches_oracle(&t);
+    }
+
+    #[test]
+    fn sealed_clone_is_copy_on_write_independent() {
+        let (mut t, g) = with_genesis();
+        let ids = grow_chain(&mut t, g, 15, 0);
+        t.confirm_with_threshold(3);
+        t.seal_to(ids[10]).unwrap();
+        let frozen = t.clone();
+        let w_before: Vec<u64> = ids.iter().map(|id| frozen.cumulative_weight(id)).collect();
+        // Mutate the original: passes and a stray, which rewrites the
+        // shared epoch copy-on-write.
+        grow_chain(&mut t, ids[14], 5, 100);
+        t.attach(data_tx(9, ids[2], ids[3], 200), 200).unwrap();
+        assert_index_matches_oracle(&t);
+        // The clone is untouched.
+        let w_after: Vec<u64> = ids.iter().map(|id| frozen.cumulative_weight(id)).collect();
+        assert_eq!(w_before, w_after);
+        assert_index_matches_oracle(&frozen);
+    }
+
+    #[test]
+    fn sealed_index_survives_random_cycles() {
+        use rand::SeedableRng;
+        for seed in 200..206u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let (mut t, _g) = with_genesis();
+            let mut clock = 0u64;
+            for round in 0..5 {
+                grow_random(&mut t, &mut rng, 40, clock);
+                clock += 41;
+                t.confirm_with_threshold(4);
+                t.seal_frontier(8);
+                assert_index_matches_oracle(&t);
+                if round % 2 == 1 {
+                    t.snapshot(clock.saturating_sub(30));
+                    assert_index_matches_oracle(&t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tips_accessors_agree() {
+        let (mut t, g) = with_genesis();
+        grow_chain(&mut t, g, 5, 0);
+        let vec = t.tips();
+        let from_set: Vec<TxId> = t.tips_set().iter().copied().collect();
+        let from_iter: Vec<TxId> = t.tips_iter().collect();
+        assert_eq!(vec, from_set);
+        assert_eq!(vec, from_iter);
+        assert_eq!(t.tip_count(), vec.len());
     }
 }

@@ -88,10 +88,10 @@ pub fn ledger_stats(tangle: &Tangle, now_ms: u64) -> LedgerStats {
     if tangle.is_empty() {
         return stats;
     }
-    let tips = tangle.tips();
+    let tips = tangle.tips_set();
     stats.tips = tips.len();
     let mut tip_age_total = 0u64;
-    for tip in &tips {
+    for tip in tips {
         let age = now_ms.saturating_sub(tangle.attach_time_ms(tip).unwrap_or(now_ms));
         tip_age_total += age;
         stats.oldest_tip_age_ms = stats.oldest_tip_age_ms.max(age);

@@ -21,6 +21,7 @@
 
 use crate::graph::Tangle;
 use crate::tx::TxId;
+use crate::view::TangleRead;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -29,13 +30,15 @@ use std::collections::HashMap;
 /// Selects two parents for the next transaction.
 ///
 /// Implementations are objects so nodes can be configured with a boxed
-/// strategy at runtime.
+/// strategy at runtime. Selection reads through [`TangleRead`], so the
+/// same strategy runs against the live [`Tangle`] (a `&Tangle` coerces)
+/// or a concurrent [`crate::view::TangleView`] snapshot.
 pub trait TipSelector: std::fmt::Debug {
     /// Returns a (trunk, branch) pair, or `None` when the tangle has no
     /// selectable tips (e.g. before genesis).
     ///
     /// The two tips may coincide when only one tip exists.
-    fn select_tips(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<(TxId, TxId)>;
+    fn select_tips(&self, tangle: &dyn TangleRead, rng: &mut dyn RngCore) -> Option<(TxId, TxId)>;
 }
 
 /// Draws a uniform index in `0..n` by rejection sampling — unlike
@@ -78,18 +81,29 @@ fn uniform_index(rng: &mut dyn RngCore, n: usize) -> usize {
 pub struct UniformRandomSelector;
 
 impl TipSelector for UniformRandomSelector {
-    fn select_tips(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
-        let tips = tangle.tips();
+    fn select_tips(&self, tangle: &dyn TangleRead, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
+        // Borrow the ordered tip set — no per-selection Vec clone. The
+        // RNG draws are identical to the old index-a-cloned-Vec path, so
+        // seeded traces are unchanged.
+        let tips = tangle.tips_set();
         match tips.len() {
             0 => None,
-            1 => Some((tips[0], tips[0])),
+            1 => tips.iter().next().map(|t| (*t, *t)),
             n => {
                 let i = uniform_index(rng, n);
                 let mut j = uniform_index(rng, n - 1);
                 if j >= i {
                     j += 1;
                 }
-                Some((tips[i], tips[j]))
+                let (lo, hi) = (i.min(j), i.max(j));
+                let mut it = tips.iter();
+                let first = *it.nth(lo).expect("lo < n");
+                let second = *it.nth(hi - lo - 1).expect("hi < n");
+                if i < j {
+                    Some((first, second))
+                } else {
+                    Some((second, first))
+                }
             }
         }
     }
@@ -112,7 +126,7 @@ impl TipSelector for UniformRandomSelector {
 /// `scratch` is reused across steps and walks: one selection performs no
 /// per-step allocation.
 fn weighted_walk(
-    tangle: &Tangle,
+    tangle: &dyn TangleRead,
     weight_of: &dyn Fn(&TxId) -> u64,
     alpha: f64,
     start: TxId,
@@ -155,16 +169,13 @@ fn weighted_walk(
 /// otherwise the heaviest remaining transaction, ties broken toward the
 /// smallest [`TxId`] so post-snapshot starts never depend on hash-map
 /// iteration order.
-fn genesis_walk_start(tangle: &Tangle) -> Option<TxId> {
+fn genesis_walk_start(tangle: &dyn TangleRead) -> Option<TxId> {
     if let Some(g) = tangle.genesis() {
         if tangle.contains(&g) {
             return Some(g);
         }
     }
-    tangle
-        .iter()
-        .map(|tx| tx.id())
-        .max_by_key(|id| (tangle.cumulative_weight(id), std::cmp::Reverse(*id)))
+    tangle.heaviest_id()
 }
 
 /// Materializes the full weight map — the legacy per-selection O(n)
@@ -210,7 +221,7 @@ impl WeightedMcmcSelector {
 
     /// Where this selector's walkers start (see [`genesis_walk_start`]):
     /// exposed so tests can pin the post-snapshot tie-break.
-    pub fn walk_start(&self, tangle: &Tangle) -> Option<TxId> {
+    pub fn walk_start(&self, tangle: &dyn TangleRead) -> Option<TxId> {
         genesis_walk_start(tangle)
     }
 
@@ -236,7 +247,7 @@ impl WeightedMcmcSelector {
 }
 
 impl TipSelector for WeightedMcmcSelector {
-    fn select_tips(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
+    fn select_tips(&self, tangle: &dyn TangleRead, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
         let start = genesis_walk_start(tangle)?;
         let weight_of = |id: &TxId| tangle.cumulative_weight(id);
         let mut scratch = Vec::new();
@@ -314,7 +325,7 @@ impl DepthConstrainedSelector {
 }
 
 impl TipSelector for DepthConstrainedSelector {
-    fn select_tips(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
+    fn select_tips(&self, tangle: &dyn TangleRead, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
         let recent = tangle.recent_non_tips(self.window);
         if recent.is_empty() {
             // Degenerate tangle (only tips): fall back to uniform.
@@ -395,7 +406,7 @@ impl ParallelWalkSelector {
 
     /// Picks the shared walk start, consuming the caller's RNG exactly as
     /// the sequential selectors do.
-    fn pick_start(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<Result<TxId, ()>> {
+    fn pick_start(&self, tangle: &dyn TangleRead, rng: &mut dyn RngCore) -> Option<Result<TxId, ()>> {
         match self.window {
             None => genesis_walk_start(tangle).map(Ok),
             Some(w) => {
@@ -432,7 +443,7 @@ impl ParallelWalkSelector {
 }
 
 impl TipSelector for ParallelWalkSelector {
-    fn select_tips(&self, tangle: &Tangle, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
+    fn select_tips(&self, tangle: &dyn TangleRead, rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
         let start = match self.pick_start(tangle, rng)? {
             Ok(s) => s,
             Err(()) => return UniformRandomSelector.select_tips(tangle, rng),
@@ -553,7 +564,7 @@ pub struct FixedPairSelector {
 }
 
 impl TipSelector for FixedPairSelector {
-    fn select_tips(&self, tangle: &Tangle, _rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
+    fn select_tips(&self, tangle: &dyn TangleRead, _rng: &mut dyn RngCore) -> Option<(TxId, TxId)> {
         // Only return the pair while it is still attached (or pruned-known).
         if tangle.contains(&self.pair.0) || tangle.is_pruned(&self.pair.0) {
             Some(self.pair)

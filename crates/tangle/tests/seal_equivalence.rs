@@ -1,0 +1,209 @@
+//! Property suite for the sealed-cone weight index and the concurrent
+//! read path.
+//!
+//! Two families of guarantees:
+//!
+//! 1. **Sealing is invisible.** Driving a sealed tangle and a never-sealed
+//!    mirror through identical attach/confirm/prune/restore cycles must
+//!    leave them bit-for-bit identical on every observable — cumulative
+//!    weights (checked against the `cumulative_weight_recount` oracle),
+//!    tips, statuses, lengths — no matter where seals land in the
+//!    interleaving.
+//! 2. **Views are the tangle.** Tip selections on a [`TangleView`]
+//!    snapshot must equal selections on the tangle it was taken from,
+//!    with identical RNG consumption, at every thread count — so reads
+//!    running concurrently with attaches (see `view.rs` for the live
+//!    multi-threaded schedule test) are provably equivalent to the
+//!    serialized schedule.
+
+use biot_tangle::graph::Tangle;
+use biot_tangle::tips::{ParallelWalkSelector, TipSelector, UniformRandomSelector};
+use biot_tangle::tx::{NodeId, Payload, TransactionBuilder, TxId};
+use biot_tangle::{TangleRead, TangleSnapshot};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// One step of the randomized life cycle.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Attach a transaction whose parents are drawn (by index) from
+    /// everything attached so far.
+    Attach(usize, usize, u8),
+    /// Confirm everything at or above the weight threshold.
+    Confirm(u64),
+    /// Seal the confirmed cone behind a recency lag (sealed tangle only —
+    /// the mirror never seals; that is the point).
+    Seal(usize),
+    /// Prune old confirmed non-tips via `Tangle::snapshot`.
+    Prune(u64),
+    /// Round-trip the sealed tangle through capture/restore (which
+    /// deliberately drops seal state — restore replays attaches).
+    Restore,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => (0usize..200, 0usize..200, any::<u8>())
+                .prop_map(|(a, b, p)| Op::Attach(a, b, p)),
+            2 => (2u64..6).prop_map(Op::Confirm),
+            3 => (0usize..24).prop_map(Op::Seal),
+            1 => (1u64..120).prop_map(Op::Prune),
+            1 => Just(Op::Restore),
+        ],
+        1..70,
+    )
+}
+
+/// Every observable of `sealed` equals the never-sealed `plain`, and the
+/// maintained weight index equals the recount oracle on both.
+fn assert_equivalent(sealed: &Tangle, plain: &Tangle, at: &str) {
+    assert_eq!(sealed.len(), plain.len(), "{at}: len");
+    assert_eq!(sealed.tips(), plain.tips(), "{at}: tips");
+    for tx in plain.iter() {
+        let id = tx.id();
+        let fast = sealed.cumulative_weight(&id);
+        assert_eq!(
+            fast,
+            sealed.cumulative_weight_recount(&id),
+            "{at}: sealed index drifted from its own recount oracle on {id:?}"
+        );
+        assert_eq!(
+            fast,
+            plain.cumulative_weight(&id),
+            "{at}: sealed weight diverged from the unsealed mirror on {id:?}"
+        );
+        assert_eq!(sealed.status(&id), plain.status(&id), "{at}: status of {id:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sealed_lifecycle_is_bit_identical_to_unsealed_mirror(ops in ops_strategy()) {
+        let mut sealed = Tangle::new();
+        let mut plain = Tangle::new();
+        let genesis = sealed.attach_genesis(NodeId([0; 32]), 0);
+        plain.attach_genesis(NodeId([0; 32]), 0);
+        let mut attached = vec![genesis];
+
+        for (i, op) in ops.iter().enumerate() {
+            let clock = i as u64 + 1;
+            match op {
+                Op::Attach(a, b, payload) => {
+                    let trunk = attached[a % attached.len()];
+                    let branch = attached[b % attached.len()];
+                    let tx = TransactionBuilder::new(NodeId([(i % 13) as u8 + 1; 32]))
+                        .parents(trunk, branch)
+                        .payload(Payload::Data(vec![*payload, i as u8]))
+                        .timestamp_ms(clock)
+                        .build();
+                    let r_sealed = sealed.attach(tx.clone(), clock);
+                    let r_plain = plain.attach(tx, clock);
+                    prop_assert_eq!(
+                        r_sealed.is_ok(),
+                        r_plain.is_ok(),
+                        "op {}: admission must not depend on sealing", i
+                    );
+                    if let Ok(id) = r_sealed {
+                        attached.push(id);
+                    }
+                }
+                Op::Confirm(threshold) => {
+                    let a = sealed.confirm_with_threshold(*threshold);
+                    let b = plain.confirm_with_threshold(*threshold);
+                    prop_assert_eq!(a, b, "op {}: confirmation sets differ", i);
+                }
+                Op::Seal(lag) => {
+                    sealed.seal_frontier(*lag);
+                }
+                Op::Prune(age) => {
+                    let cutoff = clock.saturating_sub(*age);
+                    let a = sealed.snapshot(cutoff);
+                    let b = plain.snapshot(cutoff);
+                    prop_assert_eq!(a, b, "op {}: prune victim counts differ", i);
+                }
+                Op::Restore => {
+                    let restored = TangleSnapshot::capture(&sealed)
+                        .restore()
+                        .expect("captured state restores");
+                    sealed = restored;
+                }
+            }
+            assert_equivalent(&sealed, &plain, &format!("after op {i} ({op:?})"));
+        }
+        // Ending with a full seal of whatever is confirmed, then a final
+        // audit, catches drift that only a trailing seal would expose.
+        sealed.seal_frontier(0);
+        assert_equivalent(&sealed, &plain, "after trailing seal");
+    }
+
+    #[test]
+    fn view_selections_equal_serialized_schedule_at_any_thread_count(
+        seed in 0u64..5000,
+        n in 10usize..50,
+        confirm_threshold in 2u64..5,
+        lag in 0usize..16,
+    ) {
+        // Build a random, partially sealed tangle.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tangle = Tangle::new();
+        tangle.attach_genesis(NodeId([0; 32]), 0);
+        let mut attached: Vec<TxId> = tangle.tips();
+        for i in 0..n {
+            let a = attached[rng.gen_range(0..attached.len())];
+            let b = attached[rng.gen_range(0..attached.len())];
+            let ts = i as u64 + 1;
+            let tx = TransactionBuilder::new(NodeId([(i % 7) as u8 + 1; 32]))
+                .parents(a, b)
+                .payload(Payload::Data(vec![i as u8]))
+                .timestamp_ms(ts)
+                .build();
+            let id = tangle.attach(tx, ts).expect("parents stored");
+            attached.push(id);
+        }
+        tangle.confirm_with_threshold(confirm_threshold);
+        tangle.seal_frontier(lag);
+
+        // The view is a point-in-time snapshot: selections on it must be
+        // bit-identical (same pairs, same RNG consumption) to selections
+        // on the tangle itself — the serialized schedule — for every
+        // selector and thread count.
+        let view = tangle.view_full();
+        prop_assert_eq!(view.tips_set(), tangle.tips_set());
+
+        let mut rng_t = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        let mut rng_v = StdRng::seed_from_u64(seed ^ 0xD1CE);
+        for draw in 0..4 {
+            let on_tangle = UniformRandomSelector.select_tips(&tangle, &mut rng_t);
+            let on_view = UniformRandomSelector.select_tips(&view, &mut rng_v);
+            prop_assert_eq!(on_tangle, on_view, "uniform draw {}", draw);
+            prop_assert_eq!(rng_t.next_u64(), rng_v.next_u64());
+        }
+
+        let serial = ParallelWalkSelector::new(0.4, 5);
+        for threads in [1usize, 2, 4] {
+            let wide = serial.with_threads(threads);
+            let mut rng_t = StdRng::seed_from_u64(seed ^ 0xBEEF);
+            let mut rng_v = StdRng::seed_from_u64(seed ^ 0xBEEF);
+            for draw in 0..3 {
+                let on_tangle = serial.select_tips(&tangle, &mut rng_t);
+                let on_view = wide.select_tips(&view, &mut rng_v);
+                prop_assert_eq!(
+                    on_tangle, on_view,
+                    "walk draw {} at {} threads diverged from serialized schedule",
+                    draw, threads
+                );
+                prop_assert_eq!(rng_t.next_u64(), rng_v.next_u64());
+            }
+        }
+
+        // Weight queries through the view match the tangle's (and hence,
+        // by the mirror property above, the recount oracle).
+        for id in &attached {
+            prop_assert_eq!(view.cumulative_weight(id), tangle.cumulative_weight(id));
+        }
+    }
+}
