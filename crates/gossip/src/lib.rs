@@ -10,8 +10,15 @@
 //! this crate supplies the missing distribution layer: announce/pull
 //! broadcast of new transactions, a solidification queue for out-of-order
 //! arrival, periodic anti-entropy tip exchange, cold-start bootstrap (a
-//! peer's genesis + pruned-snapshot baseline), and reconnect with capped
-//! exponential backoff.
+//! peer's genesis + pruned-snapshot baseline), and reconnect with capped,
+//! jittered exponential backoff.
+//!
+//! Beyond the original peer-pair protocol, [`node::GossipNode`] now runs
+//! N-node meshes: identified peers (`node_id` + advertised listen
+//! address), peer-exchange discovery from a single seed, bounded-fanout
+//! relay with a fixed-memory duplicate-suppression cache, and
+//! digest-batched announces ([`node::RelayMode::Digest`]) that coalesce
+//! per-transaction frames into periodic id digests pulled on demand.
 //!
 //! ## Layering
 //!
@@ -56,6 +63,10 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use node::{GossipConfig, GossipNode, GossipStats, PeerInfo, PeerState, SharedTangle};
-pub use transport::{Connector, MemTransport, Transport, TransportError};
-pub use wire::{Message, PROTOCOL_VERSION};
+pub use node::{
+    GossipConfig, GossipNode, GossipStats, PeerInfo, PeerState, RelayMode, SharedTangle,
+};
+pub use transport::{
+    ByteCounter, Connector, CountingTransport, Dialer, MemTransport, Transport, TransportError,
+};
+pub use wire::{Message, PeerEntry, PROTOCOL_VERSION};

@@ -24,17 +24,43 @@
 //! fully deterministic; real deployments call it in a small sleep loop
 //! (see `examples/gossip_sync.rs`).
 
-use crate::transport::{Connector, Transport};
-use crate::wire::{baseline_hash, decode_msg, encode_msg, Message, PROTOCOL_VERSION};
+use crate::transport::{Connector, Dialer, Transport};
+use crate::wire::{
+    baseline_hash, decode_msg, encode_msg, Message, PeerEntry, MAX_IDS_PER_DIGEST,
+    MAX_PEER_ENTRIES, PROTOCOL_VERSION,
+};
+use biot_credit::event::encode_event;
 use biot_credit::CreditEvent;
+use biot_crypto::sha256::sha256;
 use biot_tangle::graph::{Tangle, TangleError};
 use biot_tangle::tx::{Transaction, TxId};
-use std::collections::{BTreeMap, BTreeSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// A tangle shared between its owner (gateway, simulator) and the gossip
 /// layer.
 pub type SharedTangle = Arc<Mutex<Tangle>>;
+
+/// How freshly learned transactions are pushed onward to peers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RelayMode {
+    /// Legacy pair protocol: one `Announce` frame per transaction per
+    /// peer, receivers pull with `GetTx`. No duplicate suppression.
+    #[default]
+    Announce,
+    /// Naive mesh flood: push the full `TxPayload` to every ready peer
+    /// except the one it came from. The measured baseline a digest mesh
+    /// is compared against — simple, fast, and wildly redundant.
+    Flood,
+    /// Wire-efficient mesh: transaction ids are coalesced into periodic
+    /// [`Message::Digest`] frames per peer, capped at
+    /// [`GossipConfig::fanout`] peers per transaction, skipping peers the
+    /// seen-cache already knows hold it; receivers pull only what they
+    /// lack with one [`Message::GetTxs`].
+    Digest,
+}
 
 /// Tuning knobs for a [`GossipNode`].
 #[derive(Clone, Debug)]
@@ -58,10 +84,53 @@ pub struct GossipConfig {
     /// dead (no further dials).
     pub max_connect_failures: u32,
     /// Re-announce transactions learned from one peer to the others
-    /// (epidemic relay; disable for star topologies).
+    /// (epidemic relay; disable for star topologies). Only consulted in
+    /// [`RelayMode::Announce`].
     pub relay: bool,
     /// Frame-processing budget per peer per poll.
     pub max_frames_per_poll: u32,
+    /// This node's identity on the mesh. `0` = anonymous (the legacy
+    /// pair protocol); nonzero ids enable self-connection and
+    /// duplicate-link detection plus peer exchange.
+    pub node_id: u64,
+    /// Address this node accepts inbound connections at, gossiped to the
+    /// fleet via handshakes and [`Message::PeerExchange`].
+    pub listen_addr: Option<String>,
+    /// How new transactions are relayed; see [`RelayMode`].
+    pub relay_mode: RelayMode,
+    /// Max peers each transaction is digest-announced to (`0` = all
+    /// eligible). Only used in [`RelayMode::Digest`].
+    pub fanout: usize,
+    /// Entries in the fixed-memory recently-seen cache (tx ids +
+    /// credit-event checksums, with per-peer holder sets).
+    pub seen_cache: usize,
+    /// How often buffered digest ids are flushed to peers, ms.
+    pub digest_ms: u64,
+    /// How often the known-peer list is gossiped to every ready peer, ms
+    /// (`0` disables peer exchange entirely).
+    pub peer_exchange_ms: u64,
+    /// Cap on outbound links (seed connectors + peers discovered via
+    /// peer exchange); bounds the mesh degree.
+    pub max_outbound: usize,
+    /// Cap on remembered peer addresses and total peer slots.
+    pub max_known_peers: usize,
+    /// Entries per outbound [`Message::PeerExchange`] frame. Each
+    /// exchange sends a rotating *window* of the address book rather
+    /// than the whole book, so PEX wire cost stays constant as the
+    /// fleet grows; successive exchanges cover the full book. Clamped
+    /// to the wire cap ([`MAX_PEER_ENTRIES`]).
+    pub pex_max_entries: usize,
+    /// Reconnect backoff jitter, percent of the delay (`0` = exact
+    /// exponential). Seeded from the node's RNG stream, so a partition
+    /// heal spreads redials instead of thundering in lockstep — while
+    /// two runs with the same seed still agree bit-for-bit.
+    pub backoff_jitter_pct: u64,
+    /// Seed for the node's deterministic RNG (jitter, fanout rotation).
+    pub seed: u64,
+    /// Credit events kept for replay to peers that handshake later
+    /// (partition heal); oldest dropped past the cap. Only used outside
+    /// [`RelayMode::Announce`].
+    pub credit_replay: usize,
 }
 
 impl Default for GossipConfig {
@@ -76,6 +145,19 @@ impl Default for GossipConfig {
             max_connect_failures: 10,
             relay: true,
             max_frames_per_poll: 1_024,
+            node_id: 0,
+            listen_addr: None,
+            relay_mode: RelayMode::Announce,
+            fanout: 8,
+            seen_cache: 65_536,
+            digest_ms: 150,
+            peer_exchange_ms: 2_000,
+            max_outbound: 8,
+            max_known_peers: 256,
+            pex_max_entries: 16,
+            backoff_jitter_pct: 25,
+            seed: 0,
+            credit_replay: 8_192,
         }
     }
 }
@@ -116,6 +198,24 @@ pub struct GossipStats {
     pub credit_events_received: u64,
     /// Credit events dropped because the inbox was full.
     pub credit_events_dropped: u64,
+    /// Credit events discarded as already seen (mesh modes only).
+    pub credit_events_deduped: u64,
+    /// `Digest` frames sent.
+    pub digests_sent: u64,
+    /// Transaction ids carried in sent digests.
+    pub digest_ids_sent: u64,
+    /// `PeerExchange` frames sent.
+    pub peer_exchanges_sent: u64,
+    /// Peer slots created from peer-exchange discoveries.
+    pub peers_discovered: u64,
+    /// Relay sends skipped because the target already held the payload.
+    pub dup_suppressed: u64,
+    /// `GetTx`/`GetTxs` ids requested of us that we did not hold.
+    pub gettx_misses: u64,
+    /// Payloads eagerly pushed to one fresh peer on attach (digest mode).
+    pub eager_pushes: u64,
+    /// Credit-event keys advertised in `CreditKeys` digest frames.
+    pub credit_keys_sent: u64,
 }
 
 /// Where a peer slot currently stands.
@@ -139,6 +239,8 @@ pub enum PeerState {
 pub struct PeerInfo {
     /// Current lifecycle state.
     pub state: PeerState,
+    /// The peer's node id, once learned (`0` = unknown/anonymous).
+    pub node_id: u64,
     /// Consecutive connection failures.
     pub failures: u32,
     /// Current reconnect delay, ms.
@@ -153,6 +255,10 @@ struct Conn {
     transport: Box<dyn Transport>,
     hello_sent: bool,
     ready: bool,
+    /// True when this side dialed the connection (connector or dialer);
+    /// false for accepted transports. The symmetric tie-break for
+    /// duplicate links between two identified nodes keys off this.
+    outbound: bool,
     /// Frames that arrived before the peer's Hello (possible under
     /// reordering transports); replayed once the handshake lands.
     prehello: Vec<Message>,
@@ -162,10 +268,85 @@ struct Conn {
 struct PeerSlot {
     conn: Option<Conn>,
     connector: Option<Box<dyn Connector>>,
+    /// Dial address for peers discovered via peer exchange (used with
+    /// the node's [`Dialer`]).
+    addr: Option<String>,
+    /// Peer's node id (`0` until its Hello lands; pre-set for discovered
+    /// peers).
+    node_id: u64,
+    /// Digest ids queued for this peer, flushed every
+    /// [`GossipConfig::digest_ms`].
+    digest_buf: Vec<TxId>,
+    /// Credit events queued for this peer (digest relay mode), flushed
+    /// on the same tick as [`Self::digest_buf`]. Holding them briefly
+    /// lets the flush drop keys for events the peer turned out to hold
+    /// already — the credit analogue of digest crossing suppression.
+    credit_buf: Vec<[u8; 32]>,
     failures: u32,
     backoff_ms: u64,
     next_retry_ms: u64,
     dead: bool,
+    /// Dead for protocol reasons (version/genesis mismatch); never
+    /// resurrected by peer exchange.
+    incompatible: bool,
+}
+
+/// Fixed-memory recently-seen cache: 32-byte keys (tx ids and
+/// credit-event checksums) → the peer indices known to hold the item.
+/// FIFO eviction keeps it bounded no matter how hostile the fleet.
+struct SeenCache {
+    cap: usize,
+    map: HashMap<[u8; 32], Vec<u32>>,
+    order: VecDeque<[u8; 32]>,
+}
+
+impl SeenCache {
+    fn new(cap: usize) -> Self {
+        Self { cap: cap.max(1), map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    /// Marks `key` seen, optionally recording `holder` as a peer that
+    /// has the item. Returns true when the key is new.
+    fn note(&mut self, key: [u8; 32], holder: Option<usize>) -> bool {
+        if let Some(holders) = self.map.get_mut(&key) {
+            if let Some(h) = holder {
+                let h = h as u32;
+                if !holders.contains(&h) {
+                    holders.push(h);
+                }
+            }
+            return false;
+        }
+        while self.map.len() >= self.cap {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.map.insert(key, holder.map(|h| vec![h as u32]).unwrap_or_default());
+        self.order.push_back(key);
+        true
+    }
+
+    fn is_holder(&self, key: &[u8; 32], peer: usize) -> bool {
+        self.map
+            .get(key)
+            .is_some_and(|holders| holders.contains(&(peer as u32)))
+    }
+}
+
+/// Checksum identifying one credit event in the seen cache.
+fn credit_key(ev: &CreditEvent) -> [u8; 32] {
+    sha256(&encode_event(ev))
+}
+
+/// One in-flight `GetTx`/`GetTxs` request: when it was (last) sent and
+/// which peer was asked, so a stale retry can rotate to a different peer.
+struct Requested {
+    at_ms: u64,
+    peer: usize,
 }
 
 /// A transaction waiting for its parents.
@@ -196,13 +377,35 @@ pub struct GossipNode {
     pending: BTreeMap<TxId, PendingTx>,
     /// parent id → pending children waiting on it.
     waiters: BTreeMap<TxId, Vec<TxId>>,
-    /// In-flight `GetTx` requests and when they were (last) sent.
-    requested: BTreeMap<TxId, u64>,
+    /// In-flight `GetTx` requests: last send time + which peer was asked.
+    requested: BTreeMap<TxId, Requested>,
     /// Credit events received from peers, waiting for the owner to
     /// drain them into its ledger via [`take_credit_events`](Self::take_credit_events).
     credit_inbox: Vec<CreditEvent>,
+    /// Recently-seen tx ids and credit-event checksums, with holders.
+    seen: SeenCache,
+    /// node id → dial address, learned from handshakes + peer exchange.
+    known_addrs: BTreeMap<u64, String>,
+    /// Turns discovered addresses into live transports.
+    dialer: Option<Box<dyn Dialer>>,
+    /// Eviction order for the bounded credit-event store below.
+    credit_replay: VecDeque<[u8; 32]>,
+    /// Credit events this node holds, keyed by checksum: the source for
+    /// handshake replay and for serving `GetCreditEvents` pulls (mesh
+    /// modes only). Holding a key here means "processed, can serve".
+    credit_events_held: HashMap<[u8; 32], CreditEvent>,
+    /// Outstanding `GetCreditEvents` pulls: key → last request time, so
+    /// a lost answer is retried (from a different holder) after
+    /// [`GossipConfig::request_retry_ms`].
+    credit_requested: BTreeMap<[u8; 32], u64>,
+    /// Deterministic stream for backoff jitter and fanout rotation.
+    rng: StdRng,
+    /// Rotating offset so digest fanout spreads over eligible peers.
+    rr: usize,
     next_anti_entropy_ms: u64,
     next_heartbeat_ms: u64,
+    next_digest_ms: u64,
+    next_pex_ms: u64,
     pending_seq: u64,
     stats: GossipStats,
 }
@@ -220,6 +423,10 @@ impl std::fmt::Debug for GossipNode {
 impl GossipNode {
     /// Creates a node over a shared tangle.
     pub fn new(tangle: SharedTangle, cfg: GossipConfig) -> Self {
+        let rng = StdRng::seed_from_u64(
+            cfg.seed ^ cfg.node_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let seen = SeenCache::new(cfg.seen_cache);
         Self {
             cfg,
             tangle,
@@ -228,11 +435,38 @@ impl GossipNode {
             waiters: BTreeMap::new(),
             requested: BTreeMap::new(),
             credit_inbox: Vec::new(),
+            seen,
+            known_addrs: BTreeMap::new(),
+            dialer: None,
+            credit_replay: VecDeque::new(),
+            credit_events_held: HashMap::new(),
+            credit_requested: BTreeMap::new(),
+            rng,
+            rr: 0,
             next_anti_entropy_ms: 0,
             next_heartbeat_ms: 0,
+            next_digest_ms: 0,
+            next_pex_ms: 0,
             pending_seq: 0,
             stats: GossipStats::default(),
         }
+    }
+
+    /// Installs the dialer that turns peer-exchange addresses into live
+    /// connections. Without one, discovered peers are remembered but
+    /// never dialed.
+    pub fn set_dialer(&mut self, dialer: Box<dyn Dialer>) {
+        self.dialer = Some(dialer);
+    }
+
+    /// This node's mesh identity (`0` = anonymous).
+    pub fn node_id(&self) -> u64 {
+        self.cfg.node_id
+    }
+
+    /// Number of distinct peer addresses learned so far.
+    pub fn known_addr_count(&self) -> usize {
+        self.known_addrs.len()
     }
 
     /// Convenience: a node over a fresh empty tangle.
@@ -261,10 +495,15 @@ impl GossipNode {
         self.peers.push(PeerSlot {
             conn: None,
             connector: Some(connector),
+            addr: None,
+            node_id: 0,
+            digest_buf: Vec::new(),
+            credit_buf: Vec::new(),
             failures: 0,
             backoff_ms: 0,
             next_retry_ms: 0,
             dead: false,
+            incompatible: false,
         });
         self.peers.len() - 1
     }
@@ -277,14 +516,20 @@ impl GossipNode {
                 transport,
                 hello_sent: false,
                 ready: false,
+                outbound: false,
                 prehello: Vec::new(),
                 last_seen_ms: now_ms,
             }),
             connector: None,
+            addr: None,
+            node_id: 0,
+            digest_buf: Vec::new(),
+            credit_buf: Vec::new(),
             failures: 0,
             backoff_ms: 0,
             next_retry_ms: 0,
             dead: false,
+            incompatible: false,
         });
         self.peers.len() - 1
     }
@@ -304,6 +549,7 @@ impl GossipNode {
         };
         PeerInfo {
             state,
+            node_id: slot.node_id,
             failures: slot.failures,
             backoff_ms: slot.backoff_ms,
             next_retry_ms: slot.next_retry_ms,
@@ -338,9 +584,19 @@ impl GossipNode {
             }
         };
         self.stats.attached += 1;
-        self.announce_to_ready(id, None, now_ms);
+        self.seen.note(id.0, None);
+        self.relay_tx(id, None, true, now_ms);
         self.resolve_waiters(id, now_ms);
         Ok(id)
+    }
+
+    /// Ingests a transaction handed in from outside the gossip layer
+    /// (e.g. a simulated client submitting at this node). Unlike
+    /// [`attach_local`](Self::attach_local) it tolerates missing parents:
+    /// the transaction takes the same solidification path as one received
+    /// from a peer, and is relayed onward once attached.
+    pub fn submit(&mut self, tx: Transaction, attach_ms: u64, now_ms: u64) {
+        self.ingest(None, tx, attach_ms, now_ms);
     }
 
     /// Broadcasts locally observed credit events to every ready peer,
@@ -352,14 +608,143 @@ impl GossipNode {
         if events.is_empty() {
             return;
         }
-        for chunk in events.chunks(CREDIT_EVENTS_PER_FRAME) {
-            let msg = Message::CreditEvents(chunk.to_vec());
-            for i in 0..self.peers.len() {
-                if self.peer_ready(i) && self.send_to(i, &msg, now_ms) {
+        if self.cfg.relay_mode == RelayMode::Announce {
+            for chunk in events.chunks(CREDIT_EVENTS_PER_FRAME) {
+                let msg = Message::CreditEvents(chunk.to_vec());
+                for i in 0..self.peers.len() {
+                    if self.peer_ready(i) && self.send_to(i, &msg, now_ms) {
+                        self.stats.credit_events_sent += chunk.len() as u64;
+                    }
+                }
+            }
+            return;
+        }
+        // Mesh modes: dedup by checksum, remember for replay, and skip
+        // peers already known to hold an event.
+        let mut fresh: Vec<(CreditEvent, [u8; 32])> = Vec::new();
+        for ev in events {
+            let key = credit_key(ev);
+            let novel = self.seen.note(key, None);
+            if self.credit_processed(&key, novel) {
+                continue;
+            }
+            self.push_replay(*ev, key);
+            fresh.push((*ev, key));
+        }
+        self.relay_credit(&fresh, None, now_ms);
+    }
+
+    /// Relays fresh credit events: full payloads immediately in flood
+    /// mode (the naive baseline); in digest mode only their 32-byte
+    /// *keys* are queued, to a bounded fanout of peers, and ride the
+    /// next digest flush as a `CreditKeys` frame — receivers pull the
+    /// events they lack, so each ~90-byte payload crosses each link at
+    /// most once while the cheap keys do the spreading.
+    fn relay_credit(
+        &mut self,
+        fresh: &[(CreditEvent, [u8; 32])],
+        except: Option<usize>,
+        now_ms: u64,
+    ) {
+        if self.cfg.relay_mode != RelayMode::Digest {
+            self.send_credit_to_nonholders(fresh, except, now_ms);
+            return;
+        }
+        for (_, key) in fresh {
+            self.credit_enqueue(*key, except);
+        }
+    }
+
+    /// Queues a credit-event key for the next digest flush, to every
+    /// eligible peer — ready, not the source, and not already known to
+    /// hold the event. Unlike tx digests, credit keys are NOT
+    /// fanout-bounded: the credit path has no tips-exchange repair, so
+    /// a node skipped by every neighbor's fanout subset would be
+    /// stranded forever — and at 32 bytes a key, full-degree spread
+    /// costs a few B/node/tx while the ~90-byte payloads still cross
+    /// each link at most once via the pull.
+    fn credit_enqueue(&mut self, key: [u8; 32], except: Option<usize>) {
+        for i in 0..self.peers.len() {
+            if Some(i) == except || !self.peer_ready(i) {
+                continue;
+            }
+            if self.seen.is_holder(&key, i) {
+                self.stats.dup_suppressed += 1;
+                continue;
+            }
+            self.peers[i].credit_buf.push(key);
+        }
+    }
+
+    /// Sends `fresh` events to every ready peer (minus `except`) that is
+    /// not already a known holder, then records each recipient as one.
+    fn send_credit_to_nonholders(
+        &mut self,
+        fresh: &[(CreditEvent, [u8; 32])],
+        except: Option<usize>,
+        now_ms: u64,
+    ) {
+        if fresh.is_empty() {
+            return;
+        }
+        for i in 0..self.peers.len() {
+            if Some(i) == except || !self.peer_ready(i) {
+                continue;
+            }
+            let batch: Vec<&(CreditEvent, [u8; 32])> = fresh
+                .iter()
+                .filter(|(_, key)| !self.seen.is_holder(key, i))
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
+            let events: Vec<CreditEvent> = batch.iter().map(|(ev, _)| *ev).collect();
+            let keys: Vec<[u8; 32]> = batch.iter().map(|(_, key)| *key).collect();
+            let mut all_sent = true;
+            for chunk in events.chunks(CREDIT_EVENTS_PER_FRAME) {
+                if self.send_to(i, &Message::CreditEvents(chunk.to_vec()), now_ms) {
                     self.stats.credit_events_sent += chunk.len() as u64;
+                } else {
+                    all_sent = false;
+                    break;
+                }
+            }
+            if all_sent {
+                for key in keys {
+                    self.seen.note(key, Some(i));
                 }
             }
         }
+    }
+
+    /// Has this node already processed the credit event behind `key`?
+    /// Seen-cache novelty alone cannot answer this: a `CreditKeys`
+    /// advert inserts the key *before* the event arrives, and the
+    /// pulled payload must not then be mistaken for a duplicate. The
+    /// replay store is the record of processed events; only when replay
+    /// is disabled (no store to consult) does novelty decide.
+    fn credit_processed(&self, key: &[u8; 32], novel: bool) -> bool {
+        if self.cfg.credit_replay > 0 {
+            self.credit_events_held.contains_key(key)
+        } else {
+            !novel
+        }
+    }
+
+    fn push_replay(&mut self, ev: CreditEvent, key: [u8; 32]) {
+        if self.cfg.credit_replay == 0 || self.credit_events_held.contains_key(&key) {
+            return;
+        }
+        while self.credit_replay.len() >= self.cfg.credit_replay {
+            match self.credit_replay.pop_front() {
+                Some(old) => {
+                    self.credit_events_held.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.credit_replay.push_back(key);
+        self.credit_events_held.insert(key, ev);
     }
 
     /// Drains credit events received from peers. The owner applies them
@@ -395,23 +780,49 @@ impl GossipNode {
                 }
             }
         }
+        if self.cfg.relay_mode == RelayMode::Digest && now_ms >= self.next_digest_ms {
+            self.next_digest_ms = now_ms + self.cfg.digest_ms.max(1);
+            self.flush_digests(now_ms);
+        }
+        if self.cfg.peer_exchange_ms > 0 && now_ms >= self.next_pex_ms {
+            self.next_pex_ms = now_ms + self.cfg.peer_exchange_ms;
+            for i in 0..self.peers.len() {
+                if self.peer_ready(i) {
+                    self.send_peer_exchange_to(i, now_ms);
+                }
+            }
+        }
     }
 
     // --- Connection lifecycle ------------------------------------------------
 
     fn redial_due_peers(&mut self, now_ms: u64) {
         for i in 0..self.peers.len() {
-            let slot = &mut self.peers[i];
-            if slot.dead || slot.conn.is_some() || now_ms < slot.next_retry_ms {
-                continue;
+            {
+                let slot = &self.peers[i];
+                if slot.dead || slot.conn.is_some() || now_ms < slot.next_retry_ms {
+                    continue;
+                }
+                if slot.connector.is_none() && slot.addr.is_none() {
+                    continue;
+                }
             }
-            let Some(connector) = slot.connector.as_mut() else { continue };
-            match connector.connect() {
+            let dialed = if self.peers[i].connector.is_some() {
+                self.peers[i].connector.as_mut().expect("checked").connect()
+            } else {
+                let addr = self.peers[i].addr.clone().expect("checked");
+                match self.dialer.as_mut() {
+                    Some(d) => d.dial(&addr),
+                    None => continue,
+                }
+            };
+            match dialed {
                 Ok(transport) => {
-                    slot.conn = Some(Conn {
+                    self.peers[i].conn = Some(Conn {
                         transport,
                         hello_sent: false,
                         ready: false,
+                        outbound: true,
                         prehello: Vec::new(),
                         last_seen_ms: now_ms,
                     });
@@ -421,25 +832,35 @@ impl GossipNode {
         }
     }
 
-    /// Books one connection failure: exponential backoff, capped; demote
-    /// to dead past the limit.
+    /// Books one connection failure: exponential backoff with seeded
+    /// ±jitter, capped; demote to dead past the limit.
     fn record_failure(&mut self, i: usize, now_ms: u64) {
         let cfg_base = self.cfg.backoff_base_ms.max(1);
-        let slot = &mut self.peers[i];
-        slot.failures += 1;
+        self.peers[i].failures += 1;
         self.stats.disconnects += 1;
-        let shift = (slot.failures - 1).min(20);
-        slot.backoff_ms = cfg_base
+        let failures = self.peers[i].failures;
+        let shift = (failures - 1).min(20);
+        let mut backoff = cfg_base
             .saturating_mul(1u64 << shift)
             .min(self.cfg.backoff_max_ms);
-        slot.next_retry_ms = now_ms + slot.backoff_ms;
-        if slot.failures > self.cfg.max_connect_failures || slot.connector.is_none() {
+        if self.cfg.backoff_jitter_pct > 0 {
+            // Drawn from the node's own seeded stream: deterministic per
+            // run, but different nodes (different seeds) spread out — a
+            // partition heal doesn't redial in lockstep.
+            let spread = backoff * self.cfg.backoff_jitter_pct / 100;
+            if spread > 0 {
+                backoff = (backoff - spread + self.rng.gen_range(0..=2 * spread)).max(1);
+            }
+        }
+        let slot = &mut self.peers[i];
+        slot.backoff_ms = backoff;
+        slot.next_retry_ms = now_ms + backoff;
+        let redialable = slot.connector.is_some() || slot.addr.is_some();
+        if failures > self.cfg.max_connect_failures && redialable {
             // Outbound: demote after too many strikes. Inbound: nothing to
             // redial, the slot just goes quiet (not dead — the peer may
             // accept a fresh inbound connection any time).
-            if slot.connector.is_some() {
-                slot.dead = true;
-            }
+            slot.dead = true;
         }
     }
 
@@ -454,6 +875,7 @@ impl GossipNode {
             c.transport.close();
         }
         self.peers[i].dead = true;
+        self.peers[i].incompatible = true;
         self.stats.incompatible += 1;
     }
 
@@ -528,8 +950,10 @@ impl GossipNode {
         };
         Message::Hello {
             version: PROTOCOL_VERSION,
+            node_id: self.cfg.node_id,
             genesis,
             baseline: baseline_hash(genesis, &pruned),
+            listen_addr: self.cfg.listen_addr.clone(),
         }
     }
 
@@ -566,6 +990,178 @@ impl GossipNode {
         }
     }
 
+    /// Pushes a freshly attached transaction onward, per the configured
+    /// relay mode. `local` marks transactions this node originated
+    /// (attach_local), which the legacy mode always announces.
+    fn relay_tx(&mut self, id: TxId, from: Option<usize>, local: bool, now_ms: u64) {
+        match self.cfg.relay_mode {
+            RelayMode::Announce => {
+                if local || self.cfg.relay {
+                    self.announce_to_ready(id, from, now_ms);
+                }
+            }
+            RelayMode::Flood => self.flood_payload(id, from, now_ms),
+            RelayMode::Digest => {
+                // Eager/lazy split: the ORIGIN pushes the full payload
+                // to one peer immediately — the first hop pays no
+                // digest-flush + pull round trip — while batched id
+                // digests spread the rest. Relayed attaches stay lazy:
+                // with only local holder knowledge, eager-pushing at
+                // every hop mostly re-sends payloads peers already
+                // pulled, costing more wire than the pulls it saves.
+                if local {
+                    self.eager_push_one(id, from, now_ms);
+                }
+                self.digest_enqueue(id, from);
+            }
+        }
+    }
+
+    /// Pushes the payload of `id` to one ready peer not known to hold it
+    /// (and not its source), marking the target a holder on success.
+    fn eager_push_one(&mut self, id: TxId, except: Option<usize>, now_ms: u64) {
+        let eligible: Vec<usize> = (0..self.peers.len())
+            .filter(|&i| {
+                Some(i) != except && self.peer_ready(i) && !self.seen.is_holder(&id.0, i)
+            })
+            .collect();
+        if eligible.is_empty() {
+            return;
+        }
+        self.rr = self.rr.wrapping_add(1);
+        let target = eligible[self.rr % eligible.len()];
+        let found = {
+            let t = self.tangle.lock().unwrap();
+            t.get(&id)
+                .map(|tx| (tx.clone(), t.attach_time_ms(&id).unwrap_or(0)))
+        };
+        let Some((tx, attach_ms)) = found else { return };
+        if self.send_to(target, &Message::TxPayload { attach_ms, tx }, now_ms) {
+            self.stats.tx_sent += 1;
+            self.stats.eager_pushes += 1;
+            self.seen.note(id.0, Some(target));
+        }
+    }
+
+    /// Naive flood: the full payload to every ready peer except its
+    /// source. The baseline a digest mesh is measured against.
+    fn flood_payload(&mut self, id: TxId, except: Option<usize>, now_ms: u64) {
+        let found = {
+            let t = self.tangle.lock().unwrap();
+            t.get(&id)
+                .map(|tx| (tx.clone(), t.attach_time_ms(&id).unwrap_or(0)))
+        };
+        let Some((tx, attach_ms)) = found else { return };
+        for i in 0..self.peers.len() {
+            if Some(i) == except || !self.peer_ready(i) {
+                continue;
+            }
+            let msg = Message::TxPayload { attach_ms, tx: tx.clone() };
+            if self.send_to(i, &msg, now_ms) {
+                self.stats.tx_sent += 1;
+            }
+        }
+    }
+
+    /// Queues `id` for the next digest flush, to at most
+    /// [`GossipConfig::fanout`] eligible peers — ready, not the source,
+    /// and not already known to hold it.
+    fn digest_enqueue(&mut self, id: TxId, except: Option<usize>) {
+        let mut eligible: Vec<usize> = Vec::new();
+        for i in 0..self.peers.len() {
+            if Some(i) == except || !self.peer_ready(i) {
+                continue;
+            }
+            if self.seen.is_holder(&id.0, i) {
+                self.stats.dup_suppressed += 1;
+                continue;
+            }
+            eligible.push(i);
+        }
+        if eligible.is_empty() {
+            return;
+        }
+        let take = if self.cfg.fanout == 0 {
+            eligible.len()
+        } else {
+            self.cfg.fanout.min(eligible.len())
+        };
+        self.rr = self.rr.wrapping_add(1);
+        let start = self.rr % eligible.len();
+        for k in 0..take {
+            let i = eligible[(start + k) % eligible.len()];
+            self.peers[i].digest_buf.push(id);
+        }
+    }
+
+    /// Sends every peer's buffered digest ids, chunked under the frame
+    /// cap. Buffers for unready peers are discarded — the tips exchange
+    /// at (re)handshake covers anything they missed.
+    fn flush_digests(&mut self, now_ms: u64) {
+        self.flush_credit_bufs(now_ms);
+        for i in 0..self.peers.len() {
+            if self.peers[i].digest_buf.is_empty() {
+                continue;
+            }
+            if !self.peer_ready(i) {
+                self.peers[i].digest_buf.clear();
+                continue;
+            }
+            let mut buf = std::mem::take(&mut self.peers[i].digest_buf);
+            // Holder knowledge may have improved since enqueue (the
+            // peer's own digest of the same id crossed ours inside the
+            // flush window — common while a tx wave is mid-mesh): drop
+            // anything the peer is now known to hold.
+            buf.retain(|id| {
+                let held = self.seen.is_holder(&id.0, i);
+                if held {
+                    self.stats.dup_suppressed += 1;
+                }
+                !held
+            });
+            for chunk in buf.chunks(MAX_IDS_PER_DIGEST) {
+                if self.send_to(i, &Message::Digest(chunk.to_vec()), now_ms) {
+                    self.stats.digests_sent += 1;
+                    self.stats.digest_ids_sent += chunk.len() as u64;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Sends each peer's buffered credit-event keys as a `CreditKeys`
+    /// digest, dropping keys the peer is now known to hold (its own
+    /// digest of the same event crossed ours inside the flush window).
+    /// Buffers for unready peers are discarded — the handshake replay
+    /// covers whatever they missed.
+    fn flush_credit_bufs(&mut self, now_ms: u64) {
+        for i in 0..self.peers.len() {
+            if self.peers[i].credit_buf.is_empty() {
+                continue;
+            }
+            if !self.peer_ready(i) {
+                self.peers[i].credit_buf.clear();
+                continue;
+            }
+            let mut buf = std::mem::take(&mut self.peers[i].credit_buf);
+            buf.retain(|key| {
+                let held = self.seen.is_holder(key, i);
+                if held {
+                    self.stats.dup_suppressed += 1;
+                }
+                !held
+            });
+            for chunk in buf.chunks(MAX_IDS_PER_DIGEST) {
+                if self.send_to(i, &Message::CreditKeys(chunk.to_vec()), now_ms) {
+                    self.stats.credit_keys_sent += chunk.len() as u64;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
     // --- Message handling ----------------------------------------------------
 
     fn handle_message(&mut self, i: usize, msg: Message, now_ms: u64) {
@@ -579,10 +1175,11 @@ impl GossipNode {
             return;
         }
         match msg {
-            Message::Hello { version, genesis, baseline: _ } => {
-                self.handle_hello(i, version, genesis, now_ms);
+            Message::Hello { version, node_id, genesis, baseline: _, listen_addr } => {
+                self.handle_hello(i, version, node_id, genesis, listen_addr, now_ms);
             }
             Message::Announce(id) => {
+                self.seen.note(id.0, Some(i));
                 self.request_if_unknown(i, id, now_ms);
             }
             Message::GetTx(id) => {
@@ -593,11 +1190,17 @@ impl GossipNode {
                 };
                 if let Some((tx, attach_ms)) = found {
                     self.stats.tx_sent += 1;
-                    self.send_to(i, &Message::TxPayload { attach_ms, tx }, now_ms);
+                    if self.send_to(i, &Message::TxPayload { attach_ms, tx }, now_ms) {
+                        // The requester holds it once this lands — no
+                        // need to ever digest it back at them.
+                        self.seen.note(id.0, Some(i));
+                    }
+                } else {
+                    self.stats.gettx_misses += 1;
                 }
             }
             Message::TxPayload { attach_ms, tx } => {
-                self.ingest_remote(i, tx, attach_ms, now_ms);
+                self.ingest(Some(i), tx, attach_ms, now_ms);
             }
             Message::GetTips => {
                 let tips: Vec<TxId> = {
@@ -608,6 +1211,7 @@ impl GossipNode {
             }
             Message::Tips(ids) => {
                 for id in ids {
+                    self.seen.note(id.0, Some(i));
                     self.request_if_unknown(i, id, now_ms);
                 }
             }
@@ -628,15 +1232,284 @@ impl GossipNode {
             }
             Message::CreditEvents(events) => {
                 self.stats.credit_events_received += events.len() as u64;
+                if self.cfg.relay_mode == RelayMode::Announce {
+                    // Legacy one-hop broadcast: no dedup, the owner's
+                    // ledger is the arbiter.
+                    let room = MAX_CREDIT_INBOX.saturating_sub(self.credit_inbox.len());
+                    let taken = events.len().min(room);
+                    self.stats.credit_events_dropped += (events.len() - taken) as u64;
+                    self.credit_inbox.extend(events.into_iter().take(taken));
+                    return;
+                }
+                // Mesh modes: exactly-once per node. The credit ledger
+                // merges same-instant weights by accumulation, so a
+                // duplicate delivery would corrupt credit — dedup by
+                // checksum is load-bearing, not an optimization.
+                let mut fresh: Vec<(CreditEvent, [u8; 32])> = Vec::new();
+                for ev in events {
+                    let key = credit_key(&ev);
+                    self.credit_requested.remove(&key);
+                    let novel = self.seen.note(key, Some(i));
+                    if self.credit_processed(&key, novel) {
+                        self.stats.credit_events_deduped += 1;
+                    } else {
+                        fresh.push((ev, key));
+                    }
+                }
                 let room = MAX_CREDIT_INBOX.saturating_sub(self.credit_inbox.len());
-                let taken = events.len().min(room);
-                self.stats.credit_events_dropped += (events.len() - taken) as u64;
-                self.credit_inbox.extend(events.into_iter().take(taken));
+                let taken = fresh.len().min(room);
+                self.stats.credit_events_dropped += (fresh.len() - taken) as u64;
+                for (ev, _) in fresh.iter().take(taken) {
+                    self.credit_inbox.push(*ev);
+                }
+                for (ev, key) in &fresh {
+                    self.push_replay(*ev, *key);
+                }
+                self.relay_credit(&fresh, Some(i), now_ms);
+            }
+            Message::PeerExchange(entries) => {
+                self.handle_peer_exchange(entries, now_ms);
+            }
+            Message::Digest(ids) => {
+                self.handle_digest(i, ids, now_ms);
+            }
+            Message::CreditKeys(keys) => {
+                self.handle_credit_keys(i, keys, now_ms);
+            }
+            Message::GetCreditEvents(keys) => {
+                self.serve_credit_events(i, keys, now_ms);
+            }
+            Message::GetTxs(ids) => {
+                for id in ids {
+                    let found = {
+                        let t = self.tangle.lock().unwrap();
+                        t.get(&id)
+                            .map(|tx| (tx.clone(), t.attach_time_ms(&id).unwrap_or(0)))
+                    };
+                    if let Some((tx, attach_ms)) = found {
+                        self.stats.tx_sent += 1;
+                        if self.send_to(i, &Message::TxPayload { attach_ms, tx }, now_ms) {
+                            self.seen.note(id.0, Some(i));
+                        }
+                    } else {
+                        self.stats.gettx_misses += 1;
+                    }
+                }
             }
         }
     }
 
-    fn handle_hello(&mut self, i: usize, version: u16, genesis: Option<TxId>, now_ms: u64) {
+    /// A digest of ids the sender holds: record it as a holder of each,
+    /// then pull only what we lack with one batched request.
+    fn handle_digest(&mut self, i: usize, ids: Vec<TxId>, now_ms: u64) {
+        let mut want: Vec<TxId> = Vec::new();
+        for id in ids {
+            self.seen.note(id.0, Some(i));
+            let known = {
+                let t = self.tangle.lock().unwrap();
+                t.contains(&id) || t.is_pruned(&id)
+            };
+            if known || self.pending.contains_key(&id) || !self.request_due(&id, now_ms) {
+                continue;
+            }
+            self.requested.insert(id, Requested { at_ms: now_ms, peer: i });
+            want.push(id);
+        }
+        if want.is_empty() {
+            return;
+        }
+        self.stats.requests_sent += want.len() as u64;
+        for chunk in want.chunks(MAX_IDS_PER_DIGEST) {
+            self.send_to(i, &Message::GetTxs(chunk.to_vec()), now_ms);
+        }
+    }
+
+    /// A digest of credit-event keys the sender holds: record it as a
+    /// holder of each, then pull only the events we lack with one
+    /// batched request — the credit analogue of
+    /// [`handle_digest`](Self::handle_digest).
+    fn handle_credit_keys(&mut self, i: usize, keys: Vec<[u8; 32]>, now_ms: u64) {
+        if self.cfg.relay_mode == RelayMode::Announce {
+            return; // star topologies never speak the mesh credit frames
+        }
+        let mut want: Vec<[u8; 32]> = Vec::new();
+        for key in keys {
+            self.seen.note(key, Some(i));
+            if self.credit_events_held.contains_key(&key)
+                || !self.credit_request_due(&key, now_ms)
+            {
+                continue;
+            }
+            if self.credit_requested.len() >= MAX_CREDIT_INBOX
+                && !self.credit_requested.contains_key(&key)
+            {
+                continue; // hostile key flood: stop tracking new pulls
+            }
+            self.credit_requested.insert(key, now_ms);
+            want.push(key);
+        }
+        if want.is_empty() {
+            return;
+        }
+        self.stats.requests_sent += want.len() as u64;
+        for chunk in want.chunks(MAX_IDS_PER_DIGEST) {
+            self.send_to(i, &Message::GetCreditEvents(chunk.to_vec()), now_ms);
+        }
+    }
+
+    fn credit_request_due(&self, key: &[u8; 32], now_ms: u64) -> bool {
+        match self.credit_requested.get(key) {
+            None => true,
+            Some(&at) => now_ms.saturating_sub(at) >= self.cfg.request_retry_ms,
+        }
+    }
+
+    /// Serves a batched credit-event pull from the replay store,
+    /// marking the requester a holder of everything sent. Unknown keys
+    /// (evicted, or never held) are silently skipped — the requester's
+    /// retry rotates to another holder.
+    fn serve_credit_events(&mut self, i: usize, keys: Vec<[u8; 32]>, now_ms: u64) {
+        let batch: Vec<(CreditEvent, [u8; 32])> = keys
+            .into_iter()
+            .filter_map(|key| {
+                self.credit_events_held.get(&key).map(|ev| (*ev, key))
+            })
+            .collect();
+        if batch.is_empty() {
+            return;
+        }
+        let events: Vec<CreditEvent> = batch.iter().map(|(ev, _)| *ev).collect();
+        let mut all_sent = true;
+        for chunk in events.chunks(CREDIT_EVENTS_PER_FRAME) {
+            if self.send_to(i, &Message::CreditEvents(chunk.to_vec()), now_ms) {
+                self.stats.credit_events_sent += chunk.len() as u64;
+            } else {
+                all_sent = false;
+                break;
+            }
+        }
+        if all_sent {
+            for (_, key) in &batch {
+                self.seen.note(*key, Some(i));
+            }
+        }
+    }
+
+    /// Gossiped peer addresses: remember them, refresh live slots, and
+    /// (with a dialer) open new outbound slots up to the degree cap.
+    fn handle_peer_exchange(&mut self, entries: Vec<PeerEntry>, now_ms: u64) {
+        for e in entries {
+            if e.node_id == 0 || e.node_id == self.cfg.node_id {
+                continue;
+            }
+            self.learn_addr(e.node_id, e.addr.clone());
+            if let Some(j) = (0..self.peers.len())
+                .find(|&j| self.peers[j].node_id == e.node_id && !self.peers[j].dead)
+            {
+                self.peers[j].addr = Some(e.addr);
+                continue;
+            }
+            if let Some(j) =
+                (0..self.peers.len()).find(|&j| self.peers[j].node_id == e.node_id)
+            {
+                // A dead slot for a peer the fleet says is reachable:
+                // resurrect with a clean slate — unless it was demoted
+                // for speaking a different protocol or ledger.
+                if !self.peers[j].incompatible {
+                    let slot = &mut self.peers[j];
+                    slot.dead = false;
+                    slot.failures = 0;
+                    slot.backoff_ms = 0;
+                    slot.next_retry_ms = now_ms;
+                    slot.addr = Some(e.addr);
+                }
+                continue;
+            }
+            if self.dialer.is_none() {
+                continue;
+            }
+            let outbound = self
+                .peers
+                .iter()
+                .filter(|s| !s.dead && (s.connector.is_some() || s.addr.is_some()))
+                .count();
+            if outbound >= self.cfg.max_outbound
+                || self.peers.len() >= self.cfg.max_known_peers
+            {
+                continue;
+            }
+            self.peers.push(PeerSlot {
+                conn: None,
+                connector: None,
+                addr: Some(e.addr),
+                node_id: e.node_id,
+                digest_buf: Vec::new(),
+            credit_buf: Vec::new(),
+                failures: 0,
+                backoff_ms: 0,
+                next_retry_ms: now_ms,
+                dead: false,
+                incompatible: false,
+            });
+            self.stats.peers_discovered += 1;
+        }
+    }
+
+    fn learn_addr(&mut self, node_id: u64, addr: String) {
+        if node_id == 0 || node_id == self.cfg.node_id {
+            return;
+        }
+        if self.known_addrs.contains_key(&node_id)
+            || self.known_addrs.len() < self.cfg.max_known_peers
+        {
+            self.known_addrs.insert(node_id, addr);
+        }
+    }
+
+    /// Sends a window of our known-peer list (including ourselves, so
+    /// second-hop peers learn our address) to peer `i`. The window
+    /// rotates across successive exchanges: frame size stays bounded
+    /// by [`GossipConfig::pex_max_entries`] no matter how large the
+    /// address book grows, and repeated exchanges still cover it all.
+    fn send_peer_exchange_to(&mut self, i: usize, now_ms: u64) {
+        let exclude = self.peers[i].node_id;
+        let cap = self.cfg.pex_max_entries.clamp(1, MAX_PEER_ENTRIES);
+        let mut entries: Vec<PeerEntry> = Vec::new();
+        if self.cfg.node_id != 0 {
+            if let Some(addr) = &self.cfg.listen_addr {
+                entries.push(PeerEntry { node_id: self.cfg.node_id, addr: addr.clone() });
+            }
+        }
+        let book: Vec<(&u64, &String)> =
+            self.known_addrs.iter().filter(|(&id, _)| id != exclude).collect();
+        if !book.is_empty() {
+            self.rr = self.rr.wrapping_add(1);
+            let start = self.rr % book.len();
+            for k in 0..book.len() {
+                if entries.len() >= cap {
+                    break;
+                }
+                let (&node_id, addr) = book[(start + k) % book.len()];
+                entries.push(PeerEntry { node_id, addr: addr.clone() });
+            }
+        }
+        if entries.is_empty() {
+            return;
+        }
+        if self.send_to(i, &Message::PeerExchange(entries), now_ms) {
+            self.stats.peer_exchanges_sent += 1;
+        }
+    }
+
+    fn handle_hello(
+        &mut self,
+        i: usize,
+        version: u16,
+        their_id: u64,
+        genesis: Option<TxId>,
+        listen_addr: Option<String>,
+        now_ms: u64,
+    ) {
         if version != PROTOCOL_VERSION {
             self.demote_incompatible(i);
             return;
@@ -648,6 +1521,57 @@ impl GossipNode {
                 return;
             }
         }
+        if self.cfg.node_id != 0 && their_id != 0 {
+            if their_id == self.cfg.node_id {
+                // We dialed ourselves (our own address came back through
+                // peer exchange). Kill the link, never retry.
+                if let Some(mut c) = self.peers[i].conn.take() {
+                    c.transport.close();
+                }
+                self.peers[i].dead = true;
+                return;
+            }
+            if let Some(addr) = &listen_addr {
+                self.learn_addr(their_id, addr.clone());
+            }
+            // Duplicate link to a peer we're already connected to (both
+            // sides dialed each other). Both ends apply the same rule —
+            // keep the link dialed by the lower node id — so they agree
+            // on which connection survives.
+            let dup = (0..self.peers.len()).find(|&j| {
+                j != i && self.peers[j].node_id == their_id && self.peers[j].conn.is_some()
+            });
+            if let Some(j) = dup {
+                let keep_outbound = self.cfg.node_id < their_id;
+                let i_out = self.peers[i].conn.as_ref().expect("has conn").outbound;
+                let j_out = self.peers[j].conn.as_ref().expect("dup check").outbound;
+                let loser = if i_out == j_out {
+                    i.max(j) // same direction: keep the older slot
+                } else if i_out == keep_outbound {
+                    j
+                } else {
+                    i
+                };
+                let winner = if loser == i { j } else { i };
+                // The surviving slot inherits any redial capability so
+                // the peer stays reachable if the kept link later dies.
+                if self.peers[winner].connector.is_none() {
+                    self.peers[winner].connector = self.peers[loser].connector.take();
+                }
+                if self.peers[winner].addr.is_none() {
+                    self.peers[winner].addr = self.peers[loser].addr.take();
+                }
+                self.peers[winner].node_id = their_id;
+                if let Some(mut c) = self.peers[loser].conn.take() {
+                    c.transport.close();
+                }
+                self.peers[loser].dead = true;
+                if loser == i {
+                    return;
+                }
+            }
+        }
+        self.peers[i].node_id = their_id;
         let buffered = match self.peers[i].conn.as_mut() {
             Some(c) => {
                 c.ready = true;
@@ -658,6 +1582,22 @@ impl GossipNode {
         self.stats.handshakes += 1;
         self.peers[i].failures = 0;
         self.peers[i].backoff_ms = 0;
+        if self.cfg.peer_exchange_ms > 0 {
+            self.send_peer_exchange_to(i, now_ms);
+        }
+        if self.cfg.relay_mode != RelayMode::Announce && !self.credit_replay.is_empty() {
+            // Partition heal: a freshly handshaken peer may have missed
+            // credit events; replay what we hold (dedup on its side is
+            // free — we skip events it's already a known holder of).
+            let fresh: Vec<(CreditEvent, [u8; 32])> = self
+                .credit_replay
+                .iter()
+                .filter_map(|key| {
+                    self.credit_events_held.get(key).map(|ev| (*ev, *key))
+                })
+                .collect();
+            self.send_credit_replay_to(i, &fresh, now_ms);
+        }
         // Kick off synchronization immediately rather than waiting for
         // the first anti-entropy tick.
         if self.is_cold() {
@@ -675,6 +1615,43 @@ impl GossipNode {
         }
     }
 
+    /// Replays held credit events to one newly ready peer, skipping
+    /// events it is already a known holder of.
+    fn send_credit_replay_to(
+        &mut self,
+        i: usize,
+        fresh: &[(CreditEvent, [u8; 32])],
+        now_ms: u64,
+    ) {
+        let batch: Vec<CreditEvent> = fresh
+            .iter()
+            .filter(|(_, key)| !self.seen.is_holder(key, i))
+            .map(|(ev, _)| *ev)
+            .collect();
+        if batch.is_empty() {
+            return;
+        }
+        let keys: Vec<[u8; 32]> = fresh
+            .iter()
+            .filter(|(_, key)| !self.seen.is_holder(key, i))
+            .map(|(_, key)| *key)
+            .collect();
+        let mut all_sent = true;
+        for chunk in batch.chunks(CREDIT_EVENTS_PER_FRAME) {
+            if self.send_to(i, &Message::CreditEvents(chunk.to_vec()), now_ms) {
+                self.stats.credit_events_sent += chunk.len() as u64;
+            } else {
+                all_sent = false;
+                break;
+            }
+        }
+        if all_sent {
+            for key in keys {
+                self.seen.note(key, Some(i));
+            }
+        }
+    }
+
     fn handle_baseline(
         &mut self,
         i: usize,
@@ -689,7 +1666,7 @@ impl GossipNode {
             self.tangle.lock().unwrap().adopt_pruned(pruned.iter().copied());
         }
         if let Some((_attach_ms, gtx)) = genesis {
-            self.ingest_remote(i, gtx, 0, now_ms);
+            self.ingest(Some(i), gtx, 0, now_ms);
         }
         // Anything buffered that was waiting on now-pruned ancestors is
         // attachable.
@@ -702,8 +1679,32 @@ impl GossipNode {
     fn request_due(&self, id: &TxId, now_ms: u64) -> bool {
         match self.requested.get(id) {
             None => true,
-            Some(&t) => now_ms.saturating_sub(t) >= self.cfg.request_retry_ms,
+            Some(r) => now_ms.saturating_sub(r.at_ms) >= self.cfg.request_retry_ms,
         }
+    }
+
+    /// Picks a ready peer to request `id` from, avoiding `avoid` (the
+    /// peer a previous request went to) when any alternative exists.
+    /// Known holders are preferred; otherwise a rotating index spreads
+    /// requests over the ready set.
+    fn pick_request_peer(&mut self, id: &TxId, avoid: Option<usize>) -> Option<usize> {
+        let ready: Vec<usize> = (0..self.peers.len()).filter(|&j| self.peer_ready(j)).collect();
+        if ready.is_empty() {
+            return None;
+        }
+        if let Some(&h) = ready
+            .iter()
+            .find(|&&j| Some(j) != avoid && self.seen.is_holder(&id.0, j))
+        {
+            return Some(h);
+        }
+        let candidates: Vec<usize> =
+            ready.iter().copied().filter(|&j| Some(j) != avoid).collect();
+        if candidates.is_empty() {
+            return Some(ready[0]); // the stalled peer is all we have
+        }
+        self.rr = self.rr.wrapping_add(1);
+        Some(candidates[self.rr % candidates.len()])
     }
 
     fn request_if_unknown(&mut self, i: usize, id: TxId, now_ms: u64) {
@@ -714,17 +1715,19 @@ impl GossipNode {
         if known || self.pending.contains_key(&id) || !self.request_due(&id, now_ms) {
             return;
         }
-        self.requested.insert(id, now_ms);
+        self.requested.insert(id, Requested { at_ms: now_ms, peer: i });
         self.stats.requests_sent += 1;
         self.send_to(i, &Message::GetTx(id), now_ms);
     }
 
-    /// A transaction arrived from peer `i`: attach it, or buffer it until
-    /// its parents arrive.
-    fn ingest_remote(&mut self, i: usize, tx: Transaction, attach_ms: u64, now_ms: u64) {
+    /// A transaction arrived — from peer `from`, or from outside the
+    /// gossip layer (`None`, see [`submit`](Self::submit)): attach it, or
+    /// buffer it until its parents arrive.
+    fn ingest(&mut self, from: Option<usize>, tx: Transaction, attach_ms: u64, now_ms: u64) {
         let id = tx.id();
+        self.seen.note(id.0, from);
         if tx.is_genesis() {
-            self.ingest_genesis(i, tx, now_ms);
+            self.ingest_genesis(from, tx, now_ms);
             return;
         }
         let missing: Vec<TxId> = {
@@ -744,7 +1747,7 @@ impl GossipNode {
             return;
         }
         if missing.is_empty() {
-            self.try_attach_resolved(i, tx, attach_ms, now_ms);
+            self.try_attach_resolved(from, tx, attach_ms, now_ms);
             return;
         }
         // Buffer and chase the missing ancestors.
@@ -760,15 +1763,21 @@ impl GossipNode {
         self.pending_seq += 1;
         self.evict_if_full();
         for parent in missing_set {
-            if self.request_due(&parent, now_ms) {
-                self.requested.insert(parent, now_ms);
-                self.stats.requests_sent += 1;
-                self.send_to(i, &Message::GetTx(parent), now_ms);
+            if !self.request_due(&parent, now_ms) {
+                continue;
             }
+            let target = match from {
+                Some(i) => Some(i),
+                None => self.pick_request_peer(&parent, None),
+            };
+            let Some(t) = target else { continue };
+            self.requested.insert(parent, Requested { at_ms: now_ms, peer: t });
+            self.stats.requests_sent += 1;
+            self.send_to(t, &Message::GetTx(parent), now_ms);
         }
     }
 
-    fn ingest_genesis(&mut self, i: usize, tx: Transaction, now_ms: u64) {
+    fn ingest_genesis(&mut self, from: Option<usize>, tx: Transaction, now_ms: u64) {
         let claimed = tx.id();
         let rebuilt = {
             let mut t = self.tangle.lock().unwrap();
@@ -787,24 +1796,26 @@ impl GossipNode {
             return;
         }
         self.stats.attached += 1;
-        if self.cfg.relay {
-            self.announce_to_ready(rebuilt, Some(i), now_ms);
-        }
+        self.relay_tx(rebuilt, from, false, now_ms);
         self.resolve_waiters(rebuilt, now_ms);
     }
 
     /// Attaches a transaction whose parents are all present, then
     /// cascades through everything that was waiting on it.
-    fn try_attach_resolved(&mut self, from: usize, tx: Transaction, attach_ms: u64, now_ms: u64) {
+    fn try_attach_resolved(
+        &mut self,
+        from: Option<usize>,
+        tx: Transaction,
+        attach_ms: u64,
+        now_ms: u64,
+    ) {
         let id = tx.id();
         self.requested.remove(&id);
         let result = self.tangle.lock().unwrap().attach(tx, attach_ms);
         match result {
             Ok(_) => {
                 self.stats.attached += 1;
-                if self.cfg.relay {
-                    self.announce_to_ready(id, Some(from), now_ms);
-                }
+                self.relay_tx(id, from, false, now_ms);
                 self.resolve_waiters(id, now_ms);
             }
             Err(TangleError::Duplicate(_)) => self.stats.duplicates += 1,
@@ -836,9 +1847,7 @@ impl GossipNode {
                     Ok(_) => {
                         self.stats.attached += 1;
                         self.requested.remove(&child);
-                        if self.cfg.relay {
-                            self.announce_to_ready(child, None, now_ms);
-                        }
+                        self.relay_tx(child, None, false, now_ms);
                         queue.push(child);
                     }
                     Err(TangleError::Duplicate(_)) => self.stats.duplicates += 1,
@@ -873,19 +1882,32 @@ impl GossipNode {
     // --- Anti-entropy --------------------------------------------------------
 
     fn run_anti_entropy(&mut self, now_ms: u64) {
-        let cold = self.is_cold();
-        for i in 0..self.peers.len() {
-            if !self.peer_ready(i) {
-                continue;
+        if self.is_cold() {
+            // Cold bootstrap: ask everyone — the first answer wins.
+            for i in 0..self.peers.len() {
+                if self.peer_ready(i) {
+                    self.send_to(i, &Message::GetBaseline, now_ms);
+                }
             }
-            if cold {
-                self.send_to(i, &Message::GetBaseline, now_ms);
-            } else {
+        } else {
+            // Warm steady state: classic pairwise anti-entropy — ONE
+            // rotated peer per round. Tips exchange with every peer
+            // every round costs O(degree) frames per tick for a repair
+            // path that rarely fires (handshakes already swap tips, and
+            // digest relay covers live spread); rotation keeps the same
+            // eventual coverage at a fraction of the wire cost.
+            let ready: Vec<usize> = (0..self.peers.len()).filter(|&i| self.peer_ready(i)).collect();
+            if !ready.is_empty() {
+                self.rr = self.rr.wrapping_add(1);
+                let i = ready[self.rr % ready.len()];
                 self.send_to(i, &Message::GetTips, now_ms);
             }
         }
         // Re-request parents still missing whose last request went stale
-        // (e.g. the peer we asked died before answering).
+        // (e.g. the peer we asked died — or simply never answered).
+        // Each retry goes to ONE peer, and a *different* one than last
+        // time when any alternative is ready, so a stalled peer doesn't
+        // get hammered while the rest of the mesh sits idle.
         let stale: Vec<TxId> = {
             let mut set = BTreeSet::new();
             for p in self.pending.values() {
@@ -898,13 +1920,34 @@ impl GossipNode {
             set.into_iter().collect()
         };
         for id in stale {
-            self.requested.insert(id, now_ms);
+            let avoid = self.requested.get(&id).map(|r| r.peer);
+            let Some(target) = self.pick_request_peer(&id, avoid) else { continue };
+            self.requested.insert(id, Requested { at_ms: now_ms, peer: target });
             self.stats.requests_sent += 1;
-            for i in 0..self.peers.len() {
-                if self.peer_ready(i) {
-                    self.send_to(i, &Message::GetTx(id), now_ms);
-                }
-            }
+            self.send_to(target, &Message::GetTx(id), now_ms);
+        }
+        // Credit pulls whose answer never arrived (lost frame, dead
+        // peer): retry from any ready known holder, or forget the key
+        // when no holder remains — a future digest re-triggers it.
+        let due: Vec<[u8; 32]> = self
+            .credit_requested
+            .iter()
+            .filter(|(key, &at)| {
+                !self.credit_events_held.contains_key(*key)
+                    && now_ms.saturating_sub(at) >= self.cfg.request_retry_ms
+            })
+            .map(|(key, _)| *key)
+            .collect();
+        for key in due {
+            let holder = (0..self.peers.len())
+                .find(|&j| self.peer_ready(j) && self.seen.is_holder(&key, j));
+            let Some(j) = holder else {
+                self.credit_requested.remove(&key);
+                continue;
+            };
+            self.credit_requested.insert(key, now_ms);
+            self.stats.requests_sent += 1;
+            self.send_to(j, &Message::GetCreditEvents(vec![key]), now_ms);
         }
     }
 }
@@ -946,8 +1989,20 @@ mod tests {
         fn hello(genesis: Option<TxId>) -> Message {
             Message::Hello {
                 version: PROTOCOL_VERSION,
+                node_id: 0,
                 genesis,
                 baseline: baseline_hash(genesis, &[]),
+                listen_addr: None,
+            }
+        }
+
+        fn hello_as(node_id: u64, addr: &str, genesis: Option<TxId>) -> Message {
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                node_id,
+                genesis,
+                baseline: baseline_hash(genesis, &[]),
+                listen_addr: Some(addr.to_string()),
             }
         }
     }
@@ -989,8 +2044,10 @@ mod tests {
         let mut peer = wire_fake_peer(&mut node);
         peer.send(&Message::Hello {
             version: PROTOCOL_VERSION + 1,
+            node_id: 0,
             genesis: Some(g),
             baseline: [0; 32],
+            listen_addr: None,
         });
         node.poll(0);
         assert_eq!(node.peer_info(0).state, PeerState::Dead);
@@ -1197,6 +2254,7 @@ mod tests {
             backoff_base_ms: 100,
             backoff_max_ms: 800,
             max_connect_failures: 4,
+            backoff_jitter_pct: 0,
             ..GossipConfig::default()
         };
         let mut node = GossipNode::with_empty_tangle(cfg);
@@ -1219,5 +2277,489 @@ mod tests {
         let dials_before_death = node.stats().disconnects;
         node.poll(now + 10_000);
         assert_eq!(node.stats().disconnects, dials_before_death, "dead peers are left alone");
+    }
+
+    /// Satellite: backoff jitter is drawn from the node's seeded RNG —
+    /// same seed, same delays; the jittered delays differ from the bare
+    /// exponential sequence.
+    #[test]
+    fn backoff_jitter_is_seeded_and_deterministic() {
+        use crate::transport::{FnConnector, TransportError};
+        let run = |seed: u64, jitter: u64| -> Vec<u64> {
+            let cfg = GossipConfig {
+                backoff_base_ms: 100,
+                backoff_max_ms: 10_000,
+                max_connect_failures: 6,
+                backoff_jitter_pct: jitter,
+                seed,
+                ..GossipConfig::default()
+            };
+            let mut node = GossipNode::with_empty_tangle(cfg);
+            let i = node.connect(Box::new(FnConnector(|| Err(TransportError::Closed))));
+            let mut now = 0u64;
+            let mut backoffs = Vec::new();
+            for _ in 0..400 {
+                node.poll(now);
+                let info = node.peer_info(i);
+                if info.state == PeerState::Dead {
+                    break;
+                }
+                backoffs.push(info.backoff_ms);
+                now += 25;
+            }
+            backoffs.dedup();
+            backoffs
+        };
+        let a = run(42, 25);
+        let b = run(42, 25);
+        assert_eq!(a, b, "two seeded runs agree");
+        let exact = run(42, 0);
+        assert_ne!(a, exact, "jitter actually perturbs the delays");
+        assert_eq!(exact, vec![100, 200, 400, 800, 1600, 3200]);
+        // Every jittered delay stays within ±25% of its exponential rung.
+        for (got, want) in a.iter().zip(exact.iter()) {
+            let spread = want / 4;
+            assert!(
+                *got >= want - spread && *got <= want + spread,
+                "{got} outside {want}±{spread}"
+            );
+        }
+    }
+
+    /// Satellite: a missing parent is re-requested from a *different*
+    /// peer after the retry window, not hammered at the stalled one.
+    #[test]
+    fn stale_rerequest_rotates_to_a_different_peer() {
+        let cfg = GossipConfig {
+            request_retry_ms: 100,
+            anti_entropy_ms: 200,
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::new(Arc::new(Mutex::new(Tangle::new())), cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let mut stalled = wire_fake_peer(&mut node);
+        let mut healthy = wire_fake_peer(&mut node);
+        stalled.send(&FakePeer::hello(Some(g)));
+        healthy.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        stalled.drain();
+        healthy.drain();
+
+        // A child referencing an unknown parent arrives from the stalled
+        // peer; the first GetTx goes back to it (it claimed to hold the
+        // cone) — and then it never answers.
+        let parent = data_tx(1, g, g, 10);
+        let child = data_tx(2, parent.id(), parent.id(), 20);
+        stalled.send(&Message::TxPayload { attach_ms: 20, tx: child });
+        node.poll(10);
+        let first: Vec<Message> = stalled.drain();
+        assert!(
+            first.contains(&Message::GetTx(parent.id())),
+            "initial request goes to the source, got {first:?}"
+        );
+        assert!(
+            !healthy.drain().contains(&Message::GetTx(parent.id())),
+            "no shotgun to every peer on first request"
+        );
+
+        // Past the retry window the re-request must rotate away from the
+        // stalled source.
+        node.poll(250);
+        let retried = healthy.drain();
+        assert!(
+            retried.contains(&Message::GetTx(parent.id())),
+            "stale request rotates to the other peer, got {retried:?}"
+        );
+        assert!(
+            !stalled.drain().contains(&Message::GetTx(parent.id())),
+            "the stalled peer is not asked again while an alternative exists"
+        );
+    }
+
+    /// Digest relay is eager/lazy: each attach pushes the payload to
+    /// exactly one fresh peer, the other peers get a batched id digest
+    /// at the flush tick, and pulls are served in batches. No per-tx
+    /// Announce frames anywhere.
+    #[test]
+    fn digest_mode_pushes_one_copy_and_digests_the_rest() {
+        let cfg = GossipConfig {
+            relay_mode: RelayMode::Digest,
+            digest_ms: 100,
+            heartbeat_ms: 0,
+            anti_entropy_ms: 1_000_000, // keep tips exchange out of frame
+            peer_exchange_ms: 0,
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let mut p0 = wire_fake_peer(&mut node);
+        let mut p1 = wire_fake_peer(&mut node);
+        p0.send(&FakePeer::hello(Some(g)));
+        p1.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        p0.drain();
+        p1.drain();
+
+        let a = node.attach_local(data_tx(1, g, g, 10), 10).unwrap();
+        node.poll(150); // past the flush tick
+        let (m0, m1) = (p0.drain(), p1.drain());
+        let payload_in =
+            |ms: &[Message]| ms.iter().any(|m| matches!(m, Message::TxPayload { tx, .. } if tx.id() == a));
+        let digest_in =
+            |ms: &[Message]| ms.iter().any(|m| matches!(m, Message::Digest(ids) if ids.contains(&a)));
+        assert_eq!(
+            payload_in(&m0) as u8 + payload_in(&m1) as u8,
+            1,
+            "exactly one eager payload copy: {m0:?} / {m1:?}"
+        );
+        assert_eq!(
+            digest_in(&m0) as u8 + digest_in(&m1) as u8,
+            1,
+            "the other peer gets the id digest: {m0:?} / {m1:?}"
+        );
+        assert!(
+!(payload_in(&m0) && digest_in(&m0) || payload_in(&m1) && digest_in(&m1)),
+            "no peer gets both copies"
+        );
+        assert!(
+            !m0.iter().chain(m1.iter()).any(|m| matches!(m, Message::Announce(_))),
+            "digest mode retires per-tx announces"
+        );
+        assert_eq!(node.stats().eager_pushes, 1);
+
+        // Batched pulls are served in order.
+        let b = node.attach_local(data_tx(2, a, g, 11), 11).unwrap();
+        let c = node.attach_local(data_tx(3, b, a, 12), 12).unwrap();
+        p0.drain();
+        p1.drain();
+        p0.send(&Message::GetTxs(vec![b, c]));
+        node.poll(200);
+        let served: Vec<TxId> = p0
+            .drain()
+            .into_iter()
+            .filter_map(|m| match m {
+                Message::TxPayload { tx, .. } => Some(tx.id()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(served, vec![b, c]);
+    }
+
+    #[test]
+    fn digest_receiver_pulls_only_unknown_ids() {
+        let cfg = GossipConfig {
+            relay_mode: RelayMode::Digest,
+            heartbeat_ms: 0,
+            anti_entropy_ms: 1_000_000,
+            peer_exchange_ms: 0,
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let held = node.attach_local(data_tx(1, g, g, 5), 5).unwrap();
+        let mut peer = wire_fake_peer(&mut node);
+        peer.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        peer.drain();
+
+        let phantom = TxId([0xAB; 32]);
+        peer.send(&Message::Digest(vec![held, phantom]));
+        node.poll(10);
+        let msgs = peer.drain();
+        assert!(
+            msgs.contains(&Message::GetTxs(vec![phantom])),
+            "only the unknown id is pulled, got {msgs:?}"
+        );
+    }
+
+    /// Duplicate suppression: a transaction digest-announced by a peer is
+    /// never digest-announced back to it, and a second delivery of the
+    /// same payload is dropped as a duplicate.
+    #[test]
+    fn digest_relay_never_echoes_to_a_known_holder() {
+        let cfg = GossipConfig {
+            relay_mode: RelayMode::Digest,
+            digest_ms: 100,
+            heartbeat_ms: 0,
+            anti_entropy_ms: 1_000_000,
+            peer_exchange_ms: 0,
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let mut src = wire_fake_peer(&mut node);
+        let mut other = wire_fake_peer(&mut node);
+        src.send(&FakePeer::hello(Some(g)));
+        other.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        src.drain();
+        other.drain();
+
+        let tx = data_tx(1, g, g, 10);
+        let id = tx.id();
+        src.send(&Message::TxPayload { attach_ms: 10, tx: tx.clone() });
+        node.poll(10);
+        node.poll(150); // digest flush
+        let to_src = src.drain();
+        assert!(
+            !to_src.iter().any(|m| matches!(m, Message::Digest(ids) if ids.contains(&id))
+                || matches!(m, Message::TxPayload { tx, .. } if tx.id() == id)),
+            "no echo back to the sender, got {to_src:?}"
+        );
+        // A relayed (non-local) attach stays lazy: the other peer is
+        // told by digest, not handed an unsolicited payload copy.
+        let to_other = other.drain();
+        assert!(
+            to_other
+                .iter()
+                .any(|m| matches!(m, Message::Digest(ids) if ids.contains(&id))),
+            "the other peer is told by digest, got {to_other:?}"
+        );
+        assert!(
+            !to_other
+                .iter()
+                .any(|m| matches!(m, Message::TxPayload { tx, .. } if tx.id() == id)),
+            "relayed attaches are not eager-pushed, got {to_other:?}"
+        );
+
+        // Redundant second delivery: counted, not re-attached.
+        let dups_before = node.stats().duplicates;
+        other.send(&Message::TxPayload { attach_ms: 10, tx });
+        node.poll(200);
+        assert_eq!(node.stats().duplicates, dups_before + 1);
+    }
+
+    /// Peer exchange: a node with one seed link discovers a third peer's
+    /// address and dials it through its `Dialer`.
+    #[test]
+    fn peer_exchange_discovers_and_dials_new_peers() {
+        use crate::transport::FnDialer;
+        use std::sync::mpsc;
+
+        let cfg = GossipConfig {
+            node_id: 1,
+            listen_addr: Some("sim:1".into()),
+            relay_mode: RelayMode::Digest,
+            peer_exchange_ms: 500,
+            heartbeat_ms: 0,
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let (dialed_tx, dialed_rx) = mpsc::channel::<String>();
+        node.set_dialer(Box::new(FnDialer(move |addr: &str| {
+            dialed_tx.send(addr.to_string()).unwrap();
+            let (ours, _theirs, link) = MemTransport::pair();
+            std::mem::forget(link); // keep the pair alive for the test
+            Ok(Box::new(ours) as Box<dyn Transport>)
+        })));
+        let mut seed = wire_fake_peer(&mut node);
+        seed.send(&FakePeer::hello_as(2, "sim:2", Some(g)));
+        node.poll(0);
+        seed.drain();
+        assert_eq!(node.known_addr_count(), 1, "seed's address learned from its hello");
+
+        // The seed gossips a third peer; the node must open a slot for it
+        // and dial on the next poll.
+        seed.send(&Message::PeerExchange(vec![PeerEntry {
+            node_id: 3,
+            addr: "sim:3".into(),
+        }]));
+        node.poll(10);
+        node.poll(20);
+        assert_eq!(node.stats().peers_discovered, 1);
+        assert_eq!(dialed_rx.try_recv().unwrap(), "sim:3");
+        assert_eq!(node.known_addr_count(), 2);
+
+        // Entries for ourselves are ignored.
+        seed.send(&Message::PeerExchange(vec![PeerEntry {
+            node_id: 1,
+            addr: "sim:1".into(),
+        }]));
+        node.poll(30);
+        assert_eq!(node.stats().peers_discovered, 1, "own id never dialed");
+    }
+
+    /// Mesh credit relay: the same event arriving twice (two peers) lands
+    /// in the inbox exactly once — the ledger would otherwise
+    /// double-count it — and is relayed onward to non-holders only.
+    #[test]
+    fn mesh_credit_events_are_deduped_and_relayed_once() {
+        use biot_net::time::SimTime;
+        let cfg = GossipConfig {
+            relay_mode: RelayMode::Flood,
+            heartbeat_ms: 0,
+            anti_entropy_ms: 1_000_000,
+            peer_exchange_ms: 0,
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let mut a = wire_fake_peer(&mut node);
+        let mut b = wire_fake_peer(&mut node);
+        let mut c = wire_fake_peer(&mut node);
+        a.send(&FakePeer::hello(Some(g)));
+        b.send(&FakePeer::hello(Some(g)));
+        c.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        a.drain();
+        b.drain();
+        c.drain();
+
+        let ev = CreditEvent::validated(NodeId([7; 32]), 2.0, SimTime::from_secs(9));
+        a.send(&Message::CreditEvents(vec![ev]));
+        node.poll(10);
+        assert_eq!(node.credit_inbox_len(), 1);
+        // Relayed onward to b and c, never echoed back to the source.
+        assert!(b.drain().contains(&Message::CreditEvents(vec![ev])));
+        assert!(c.drain().contains(&Message::CreditEvents(vec![ev])));
+        assert!(!a.drain().contains(&Message::CreditEvents(vec![ev])));
+
+        // A redundant copy from b is deduped: inbox unchanged, nothing
+        // re-relayed to anyone (all three are known holders now).
+        b.send(&Message::CreditEvents(vec![ev]));
+        node.poll(20);
+        assert_eq!(node.credit_inbox_len(), 1, "second copy deduped");
+        assert_eq!(node.stats().credit_events_deduped, 1);
+        assert!(!a.drain().contains(&Message::CreditEvents(vec![ev])));
+        assert!(!b.drain().contains(&Message::CreditEvents(vec![ev])));
+        assert!(!c.drain().contains(&Message::CreditEvents(vec![ev])));
+    }
+
+    /// Digest-mode credit relay: a received event spreads as a 32-byte
+    /// key in a `CreditKeys` frame; a peer that lacks it pulls the full
+    /// event with `GetCreditEvents`, and a peer that already advertised
+    /// the key is never sent anything.
+    #[test]
+    fn mesh_credit_spreads_by_key_and_pull() {
+        use biot_net::time::SimTime;
+        let cfg = GossipConfig {
+            relay_mode: RelayMode::Digest,
+            digest_ms: 25,
+            heartbeat_ms: 0,
+            anti_entropy_ms: 1_000_000,
+            peer_exchange_ms: 0,
+            fanout: 0,
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let mut src = wire_fake_peer(&mut node);
+        let mut lacking = wire_fake_peer(&mut node);
+        let mut holding = wire_fake_peer(&mut node);
+        src.send(&FakePeer::hello(Some(g)));
+        lacking.send(&FakePeer::hello(Some(g)));
+        holding.send(&FakePeer::hello(Some(g)));
+        node.poll(0);
+        src.drain();
+        lacking.drain();
+        holding.drain();
+
+        let ev = CreditEvent::validated(NodeId([7; 32]), 2.0, SimTime::from_secs(9));
+        let key = credit_key(&ev);
+        // `holding` advertises the key first: the node learns it holds
+        // the event, and pulls it (the node itself lacks it).
+        holding.send(&Message::CreditKeys(vec![key]));
+        node.poll(10);
+        assert!(
+            holding.drain().contains(&Message::GetCreditEvents(vec![key])),
+            "node pulls an advertised event it lacks"
+        );
+        // The event arrives from `src` instead (races are normal).
+        src.send(&Message::CreditEvents(vec![ev]));
+        node.poll(20);
+        assert_eq!(node.credit_inbox_len(), 1);
+        // The digest flush advertises the key onward — to `lacking`
+        // only: `src` sent it, `holding` advertised it.
+        node.poll(50);
+        assert!(
+            lacking.drain().contains(&Message::CreditKeys(vec![key])),
+            "key digested to the peer that lacks it"
+        );
+        assert!(!src.drain().iter().any(|m| matches!(
+            m,
+            Message::CreditKeys(_) | Message::CreditEvents(_)
+        )));
+        assert!(!holding.drain().iter().any(|m| matches!(
+            m,
+            Message::CreditKeys(_) | Message::CreditEvents(_)
+        )));
+        // `lacking` pulls; the node serves the full event exactly once.
+        lacking.send(&Message::GetCreditEvents(vec![key]));
+        node.poll(60);
+        assert!(
+            lacking.drain().contains(&Message::CreditEvents(vec![ev])),
+            "pull served from the replay store"
+        );
+        lacking.send(&Message::GetCreditEvents(vec![key]));
+        node.poll(90);
+        // A re-pull is still served (the peer may have lost the frame),
+        // but an unknown key is silently skipped.
+        lacking.send(&Message::GetCreditEvents(vec![[0xEE; 32]]));
+        node.poll(120);
+        let msgs = lacking.drain();
+        assert!(!msgs.iter().any(|m| matches!(m, Message::CreditEvents(evs) if evs.len() != 1)));
+    }
+
+    /// Mesh handshake replays held credit events to a late joiner.
+    #[test]
+    fn credit_replay_covers_late_handshakes() {
+        use biot_net::time::SimTime;
+        let cfg = GossipConfig {
+            relay_mode: RelayMode::Digest,
+            heartbeat_ms: 0,
+            peer_exchange_ms: 0,
+            ..GossipConfig::default()
+        };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let ev = CreditEvent::validated(NodeId([5; 32]), 1.5, SimTime::from_secs(4));
+        node.broadcast_credit_events(&[ev], 0); // no peers yet: replay-buffered
+
+        let mut late = wire_fake_peer(&mut node);
+        late.send(&FakePeer::hello(Some(g)));
+        node.poll(10);
+        let msgs = late.drain();
+        assert!(
+            msgs.contains(&Message::CreditEvents(vec![ev])),
+            "late joiner gets the replay, got {msgs:?}"
+        );
+    }
+
+    /// A node dialing itself (its own address echoed back through peer
+    /// exchange) recognizes its own id in the hello and kills the link.
+    #[test]
+    fn self_connection_is_refused() {
+        let cfg = GossipConfig { node_id: 7, ..GossipConfig::default() };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let mut peer = wire_fake_peer(&mut node);
+        peer.send(&FakePeer::hello_as(7, "sim:7", Some(g)));
+        node.poll(0);
+        assert_eq!(node.peer_info(0).state, PeerState::Dead);
+        assert_eq!(node.ready_peers(), 0);
+    }
+
+    /// Two identified nodes with links in both directions keep exactly
+    /// one: the surviving slot inherits the loser's redial ability.
+    #[test]
+    fn duplicate_links_collapse_to_one() {
+        let cfg = GossipConfig { node_id: 1, ..GossipConfig::default() };
+        let mut node = GossipNode::with_empty_tangle(cfg);
+        let g = node.tangle().lock().unwrap().attach_genesis(NodeId([0; 32]), 0);
+        let mut first = wire_fake_peer(&mut node);
+        first.send(&FakePeer::hello_as(9, "sim:9", Some(g)));
+        node.poll(0);
+        first.drain();
+        assert_eq!(node.ready_peers(), 1);
+
+        let mut second = wire_fake_peer(&mut node);
+        second.send(&FakePeer::hello_as(9, "sim:9", Some(g)));
+        node.poll(10);
+        assert_eq!(node.ready_peers(), 1, "duplicate link resolved");
+        let states: Vec<PeerState> =
+            (0..2).map(|i| node.peer_info(i).state).collect();
+        assert!(states.contains(&PeerState::Ready));
+        assert!(states.contains(&PeerState::Dead));
     }
 }

@@ -8,7 +8,7 @@
 //! [`MAX_FRAME_BYTES`] before any buffering, so a garbage peer cannot
 //! make us allocate unboundedly.
 
-use crate::transport::{Connector, Transport, TransportError};
+use crate::transport::{Connector, Dialer, Transport, TransportError};
 use crate::wire::MAX_FRAME_BYTES;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -367,6 +367,21 @@ impl Connector for TcpConnector {
 
     fn label(&self) -> String {
         format!("tcp:{}", self.addr)
+    }
+}
+
+/// Dials addresses learned from peer exchange — plug into
+/// [`crate::node::GossipNode::set_dialer`] so gossiped `host:port`
+/// strings become live TCP links.
+#[derive(Clone, Debug, Default)]
+pub struct TcpDialer;
+
+impl Dialer for TcpDialer {
+    fn dial(&mut self, addr: &str) -> Result<Box<dyn Transport>, TransportError> {
+        match TcpTransport::connect(addr) {
+            Ok(t) => Ok(Box::new(t)),
+            Err(e) => Err(to_transport_err(&e)),
+        }
     }
 }
 

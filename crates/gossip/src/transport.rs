@@ -109,6 +109,107 @@ where
     }
 }
 
+/// Turns a peer address *discovered at runtime* (via
+/// [`crate::wire::Message::PeerExchange`]) into a live transport. Where a
+/// [`Connector`] redials one fixed peer, a `Dialer` reaches any address
+/// the mesh gossips — `host:port` for TCP, registry keys for simulated
+/// fleets.
+pub trait Dialer: Send {
+    /// Attempts one connection to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TransportError`]; the node schedules a backed-off retry.
+    fn dial(&mut self, addr: &str) -> Result<Box<dyn Transport>, TransportError>;
+}
+
+/// A [`Dialer`] built from a closure.
+pub struct FnDialer<F>(pub F);
+
+impl<F> Dialer for FnDialer<F>
+where
+    F: FnMut(&str) -> Result<Box<dyn Transport>, TransportError> + Send,
+{
+    fn dial(&mut self, addr: &str) -> Result<Box<dyn Transport>, TransportError> {
+        (self.0)(addr)
+    }
+}
+
+/// Shared bytes-on-wire counters for one node, incremented by every
+/// [`CountingTransport`] wrapped around its links. Each frame is costed
+/// at `4 + len` — the TCP framing overhead — so in-memory mesh runs
+/// report the same wire bytes a socket deployment would.
+#[derive(Clone, Debug, Default)]
+pub struct ByteCounter {
+    sent: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+    frames_sent: Arc<AtomicU64>,
+}
+
+impl ByteCounter {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes sent (including per-frame length prefixes).
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes received.
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Total frames sent.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+}
+
+/// Wraps a transport and attributes its traffic to a [`ByteCounter`].
+pub struct CountingTransport {
+    inner: Box<dyn Transport>,
+    counter: ByteCounter,
+}
+
+impl CountingTransport {
+    /// Wraps `inner`; all traffic is booked against `counter`.
+    pub fn new(inner: Box<dyn Transport>, counter: ByteCounter) -> Self {
+        Self { inner, counter }
+    }
+}
+
+impl Transport for CountingTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.inner.send(frame)?;
+        self.counter.sent.fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+        self.counter.frames_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        let got = self.inner.try_recv()?;
+        if let Some(frame) = &got {
+            self.counter.received.fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+        }
+        Ok(got)
+    }
+
+    fn is_open(&self) -> bool {
+        self.inner.is_open()
+    }
+
+    fn close(&mut self) {
+        self.inner.close();
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
+
 // --- In-memory loopback ------------------------------------------------------
 
 #[derive(Debug, Default)]

@@ -7,8 +7,10 @@
 //! socket gets the same corruption detection as one read from disk.
 //!
 //! ```text
-//! tag 0  Hello      u16-BE protocol version, u8 has-genesis flag,
-//!                   [32-byte genesis id], 32-byte baseline hash
+//! tag 0  Hello      u16-BE protocol version, u64-BE node id,
+//!                   u8 has-genesis flag, [32-byte genesis id],
+//!                   32-byte baseline hash, u8 has-addr flag,
+//!                   [varint len, UTF-8 listen address]
 //! tag 1  Announce   32-byte tx id
 //! tag 2  GetTx      32-byte tx id
 //! tag 3  TxPayload  varint attach_ms, varint len, codec-encoded tx
@@ -21,11 +23,24 @@
 //!                   varint pruned count, count × 32-byte tx ids
 //! tag 9  CreditEvents varint count, count × (varint len,
 //!                   checksummed biot_credit event bytes)
+//! tag 10 PeerExchange varint count, count × (u64-BE node id,
+//!                   varint addr len, UTF-8 address, 4-byte checksum)
+//! tag 11 Digest     varint count, count × 32-byte tx ids,
+//!                   4-byte checksum over the ids
+//! tag 12 GetTxs     varint count, count × 32-byte tx ids
+//! tag 13 CreditKeys varint count, count × 32-byte credit-event
+//!                   checksums, 4-byte checksum over the keys
+//! tag 14 GetCreditEvents varint count, count × 32-byte credit-event
+//!                   checksums
 //! ```
 //!
 //! Varints are LEB128, identical to the tangle codec. Every declared
 //! count is validated against the remaining frame length **before** any
-//! allocation, mirroring the hardening in `tangle::codec`.
+//! allocation, mirroring the hardening in `tangle::codec`. `PeerExchange`
+//! entries and `Digest` id lists carry truncated-SHA-256 checksums (like
+//! the per-event checksums of tag 9), so a single flipped bit anywhere in
+//! an entry or an id list is rejected rather than silently becoming a
+//! different address or transaction id.
 
 use biot_credit::event::{decode_event, encode_event, CreditCodecError, CreditEvent};
 use biot_crypto::sha256::sha256;
@@ -34,12 +49,27 @@ use biot_tangle::tx::{Transaction, TxId};
 use std::fmt;
 
 /// Version negotiated in [`Message::Hello`]; peers speaking a different
-/// version are refused.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// version are refused. v2 added node identity + listen address to the
+/// handshake and the mesh frames (tags 10–14).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on one frame. Anything larger is a protocol violation — the
 /// TCP transport refuses to even buffer it.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Cap on entries in one [`Message::PeerExchange`] frame.
+pub const MAX_PEER_ENTRIES: usize = 64;
+
+/// Cap on one peer address string, bytes.
+pub const MAX_ADDR_BYTES: usize = 256;
+
+/// Cap on 32-byte items in one [`Message::Digest`], [`Message::GetTxs`],
+/// [`Message::CreditKeys`], or [`Message::GetCreditEvents`] frame.
+pub const MAX_IDS_PER_DIGEST: usize = 4_096;
+
+/// Smallest possible encoded [`PeerEntry`]: 8-byte id, 1-byte length,
+/// empty address, 4-byte checksum.
+const MIN_PEER_ENTRY: usize = 8 + 1 + 4;
 
 /// Errors from decoding a frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,6 +88,10 @@ pub enum WireError {
     Codec(CodecError),
     /// An embedded credit event failed to decode.
     CreditCodec(CreditCodecError),
+    /// An embedded checksum (peer entry, digest id list) did not match.
+    ChecksumMismatch,
+    /// A peer address was over the cap or not valid UTF-8.
+    BadAddr,
 }
 
 impl fmt::Display for WireError {
@@ -70,6 +104,8 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::Codec(e) => write!(f, "embedded transaction corrupt: {e}"),
             WireError::CreditCodec(e) => write!(f, "embedded credit event corrupt: {e}"),
+            WireError::ChecksumMismatch => write!(f, "embedded checksum mismatch"),
+            WireError::BadAddr => write!(f, "peer address over cap or not UTF-8"),
         }
     }
 }
@@ -95,6 +131,10 @@ pub enum Message {
     Hello {
         /// Speaker's protocol version (must match to proceed).
         version: u16,
+        /// Speaker's node id (`0` = anonymous; nonzero ids let peers
+        /// detect self-connections and duplicate links, and key the peer
+        /// table for peer exchange).
+        node_id: u64,
         /// Speaker's genesis id, if it has one. Two peers with different
         /// genesis ids are on different ledgers — incompatible.
         genesis: Option<TxId>,
@@ -102,6 +142,10 @@ pub enum Message {
         /// [`baseline_hash`]. Purely diagnostic — peers with matching
         /// genesis but different pruning depth still sync.
         baseline: [u8; 32],
+        /// Where the speaker accepts inbound connections, if anywhere —
+        /// gossiped onward in [`Message::PeerExchange`] frames so the
+        /// fleet discovers it.
+        listen_addr: Option<String>,
     },
     /// "I hold this transaction" — sent after a local attach or relay.
     Announce(TxId),
@@ -141,6 +185,69 @@ pub enum Message {
     /// [`biot_credit::event`] codec), so corruption is caught per
     /// event, not just per frame.
     CreditEvents(Vec<CreditEvent>),
+    /// "Here are peers I know about" — each entry is `(node id, dial
+    /// address)` with its own checksum, capped at [`MAX_PEER_ENTRIES`].
+    /// A node joining with one seed address discovers the fleet through
+    /// these.
+    PeerExchange(Vec<PeerEntry>),
+    /// Digest-batched announce: "I hold these transactions". Replaces a
+    /// burst of per-tx [`Message::Announce`] frames with one periodic
+    /// frame per peer; the receiver answers with [`Message::GetTxs`] for
+    /// only the ids it lacks. Checksummed so a flipped bit cannot turn
+    /// into a request for a phantom transaction.
+    Digest(Vec<TxId>),
+    /// Batch fetch: "send me these transactions" (the pull half of the
+    /// digest exchange).
+    GetTxs(Vec<TxId>),
+    /// Digest-batched credit announce: "I hold credit events with these
+    /// checksums" — the credit analogue of [`Message::Digest`]. A
+    /// 32-byte key is ~3× cheaper on the wire than the event it names,
+    /// so fleets gossip keys and pull only unknown events instead of
+    /// flooding full event bodies.
+    CreditKeys(Vec<[u8; 32]>),
+    /// Batch fetch: "send me the credit events with these checksums"
+    /// (the pull half of the credit-key exchange; served from the
+    /// sender's replay buffer).
+    GetCreditEvents(Vec<[u8; 32]>),
+}
+
+/// One known peer, as gossiped in [`Message::PeerExchange`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// The peer's nonzero node id.
+    pub node_id: u64,
+    /// An address its listener can be dialed at (transport-specific;
+    /// interpreted by the receiving node's `Dialer`).
+    pub addr: String,
+}
+
+/// Truncated SHA-256 over a peer entry (id + address bytes).
+fn peer_entry_checksum(node_id: u64, addr: &[u8]) -> [u8; 4] {
+    let mut buf = Vec::with_capacity(8 + addr.len());
+    buf.extend_from_slice(&node_id.to_be_bytes());
+    buf.extend_from_slice(addr);
+    let h = sha256(&buf);
+    [h[0], h[1], h[2], h[3]]
+}
+
+/// Truncated SHA-256 over a digest's id list.
+fn digest_checksum(ids: &[TxId]) -> [u8; 4] {
+    let mut buf = Vec::with_capacity(32 * ids.len());
+    for id in ids {
+        buf.extend_from_slice(&id.0);
+    }
+    let h = sha256(&buf);
+    [h[0], h[1], h[2], h[3]]
+}
+
+/// Truncated SHA-256 over a credit-key list.
+fn keys_checksum(keys: &[[u8; 32]]) -> [u8; 4] {
+    let mut buf = Vec::with_capacity(32 * keys.len());
+    for key in keys {
+        buf.extend_from_slice(key);
+    }
+    let h = sha256(&buf);
+    [h[0], h[1], h[2], h[3]]
 }
 
 /// Hash identifying a replica's baseline: SHA-256 over the genesis id (or
@@ -241,9 +348,10 @@ fn put_tx(out: &mut Vec<u8>, tx: &Transaction) {
 pub fn encode_msg(msg: &Message) -> Vec<u8> {
     let mut out = Vec::new();
     match msg {
-        Message::Hello { version, genesis, baseline } => {
+        Message::Hello { version, node_id, genesis, baseline, listen_addr } => {
             out.push(0);
             out.extend_from_slice(&version.to_be_bytes());
+            out.extend_from_slice(&node_id.to_be_bytes());
             match genesis {
                 Some(g) => {
                     out.push(1);
@@ -252,6 +360,14 @@ pub fn encode_msg(msg: &Message) -> Vec<u8> {
                 None => out.push(0),
             }
             out.extend_from_slice(baseline);
+            match listen_addr {
+                Some(addr) => {
+                    out.push(1);
+                    put_varint(&mut out, addr.len() as u64);
+                    out.extend_from_slice(addr.as_bytes());
+                }
+                None => out.push(0),
+            }
         }
         Message::Announce(id) => {
             out.push(1);
@@ -303,6 +419,46 @@ pub fn encode_msg(msg: &Message) -> Vec<u8> {
                 out.extend_from_slice(&body);
             }
         }
+        Message::PeerExchange(entries) => {
+            out.push(10);
+            put_varint(&mut out, entries.len() as u64);
+            for e in entries {
+                out.extend_from_slice(&e.node_id.to_be_bytes());
+                put_varint(&mut out, e.addr.len() as u64);
+                out.extend_from_slice(e.addr.as_bytes());
+                out.extend_from_slice(&peer_entry_checksum(e.node_id, e.addr.as_bytes()));
+            }
+        }
+        Message::Digest(ids) => {
+            out.push(11);
+            put_varint(&mut out, ids.len() as u64);
+            for id in ids {
+                out.extend_from_slice(&id.0);
+            }
+            out.extend_from_slice(&digest_checksum(ids));
+        }
+        Message::GetTxs(ids) => {
+            out.push(12);
+            put_varint(&mut out, ids.len() as u64);
+            for id in ids {
+                out.extend_from_slice(&id.0);
+            }
+        }
+        Message::CreditKeys(keys) => {
+            out.push(13);
+            put_varint(&mut out, keys.len() as u64);
+            for key in keys {
+                out.extend_from_slice(key);
+            }
+            out.extend_from_slice(&keys_checksum(keys));
+        }
+        Message::GetCreditEvents(keys) => {
+            out.push(14);
+            put_varint(&mut out, keys.len() as u64);
+            for key in keys {
+                out.extend_from_slice(key);
+            }
+        }
     }
     out
 }
@@ -319,10 +475,23 @@ pub fn decode_msg(frame: &[u8]) -> Result<Message, WireError> {
             let hi = r.u8()?;
             let lo = r.u8()?;
             let version = u16::from_be_bytes([hi, lo]);
+            let mut id_bytes = [0u8; 8];
+            id_bytes.copy_from_slice(r.bytes(8)?);
+            let node_id = u64::from_be_bytes(id_bytes);
             let genesis = if r.u8()? != 0 { Some(r.id()?) } else { None };
             let mut baseline = [0u8; 32];
             baseline.copy_from_slice(r.bytes(32)?);
-            Message::Hello { version, genesis, baseline }
+            let listen_addr = if r.u8()? != 0 {
+                let len = r.varint()?;
+                if len > MAX_ADDR_BYTES as u64 || len > r.remaining() as u64 {
+                    return Err(WireError::BadAddr);
+                }
+                let bytes = r.bytes(len as usize)?;
+                Some(String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadAddr)?)
+            } else {
+                None
+            };
+            Message::Hello { version, node_id, genesis, baseline, listen_addr }
         }
         1 => Message::Announce(r.id()?),
         2 => Message::GetTx(r.id()?),
@@ -362,6 +531,91 @@ pub fn decode_msg(frame: &[u8]) -> Result<Message, WireError> {
             }
             Message::CreditEvents(events)
         }
+        10 => {
+            let n = r.varint()?;
+            // Each entry is at least MIN_PEER_ENTRY bytes, so a count past
+            // remaining/MIN is forged; the protocol cap bounds it further.
+            if n > MAX_PEER_ENTRIES as u64 || n > (r.remaining() / MIN_PEER_ENTRY) as u64 {
+                return Err(WireError::BadLength(n));
+            }
+            let mut entries = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let mut id_bytes = [0u8; 8];
+                id_bytes.copy_from_slice(r.bytes(8)?);
+                let node_id = u64::from_be_bytes(id_bytes);
+                let len = r.varint()?;
+                if len > MAX_ADDR_BYTES as u64 || len > r.remaining() as u64 {
+                    return Err(WireError::BadAddr);
+                }
+                let addr_bytes = r.bytes(len as usize)?.to_vec();
+                let mut sum = [0u8; 4];
+                sum.copy_from_slice(r.bytes(4)?);
+                if sum != peer_entry_checksum(node_id, &addr_bytes) {
+                    return Err(WireError::ChecksumMismatch);
+                }
+                let addr = String::from_utf8(addr_bytes).map_err(|_| WireError::BadAddr)?;
+                entries.push(PeerEntry { node_id, addr });
+            }
+            Message::PeerExchange(entries)
+        }
+        11 => {
+            let n = r.varint()?;
+            if n > MAX_IDS_PER_DIGEST as u64
+                || n.saturating_mul(32).saturating_add(4) > r.remaining() as u64
+            {
+                return Err(WireError::BadLength(n));
+            }
+            let mut ids = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                ids.push(r.id()?);
+            }
+            let mut sum = [0u8; 4];
+            sum.copy_from_slice(r.bytes(4)?);
+            if sum != digest_checksum(&ids) {
+                return Err(WireError::ChecksumMismatch);
+            }
+            Message::Digest(ids)
+        }
+        12 => {
+            let n = r.varint()?;
+            if n > MAX_IDS_PER_DIGEST as u64 || n > (r.remaining() / 32) as u64 {
+                return Err(WireError::BadLength(n));
+            }
+            let mut ids = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                ids.push(r.id()?);
+            }
+            Message::GetTxs(ids)
+        }
+        13 => {
+            let n = r.varint()?;
+            if n > MAX_IDS_PER_DIGEST as u64
+                || n.saturating_mul(32).saturating_add(4) > r.remaining() as u64
+            {
+                return Err(WireError::BadLength(n));
+            }
+            let mut keys = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                keys.push(r.id()?.0);
+            }
+            let mut sum = [0u8; 4];
+            sum.copy_from_slice(r.bytes(4)?);
+            if sum != keys_checksum(&keys) {
+                return Err(WireError::ChecksumMismatch);
+            }
+            Message::CreditKeys(keys)
+        }
+        14 => {
+            let n = r.varint()?;
+            if n > MAX_IDS_PER_DIGEST as u64 || n > (r.remaining() / 32) as u64 {
+                return Err(WireError::BadLength(n));
+            }
+            let mut keys = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                keys.push(r.id()?.0);
+            }
+            Message::GetCreditEvents(keys)
+        }
         t => return Err(WireError::BadTag(t)),
     };
     if r.remaining() != 0 {
@@ -389,11 +643,19 @@ mod tests {
 
     fn samples() -> Vec<Message> {
         vec![
-            Message::Hello { version: PROTOCOL_VERSION, genesis: None, baseline: [3; 32] },
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                node_id: 0,
+                genesis: None,
+                baseline: [3; 32],
+                listen_addr: None,
+            },
             Message::Hello {
                 version: 7,
+                node_id: 0xDEAD_BEEF_0042,
                 genesis: Some(TxId([0xAA; 32])),
                 baseline: baseline_hash(Some(TxId([0xAA; 32])), &[TxId([1; 32])]),
+                listen_addr: Some("127.0.0.1:9000".to_string()),
             },
             Message::Announce(TxId([5; 32])),
             Message::GetTx(TxId([6; 32])),
@@ -422,6 +684,19 @@ mod tests {
                     SimTime::ZERO,
                 ),
             ]),
+            Message::PeerExchange(vec![]),
+            Message::PeerExchange(vec![
+                PeerEntry { node_id: 1, addr: "mem:1".to_string() },
+                PeerEntry { node_id: 99, addr: "10.0.0.9:7777".to_string() },
+            ]),
+            Message::Digest(vec![]),
+            Message::Digest(vec![TxId([8; 32]), TxId([9; 32])]),
+            Message::GetTxs(vec![]),
+            Message::GetTxs(vec![TxId([0xCC; 32])]),
+            Message::CreditKeys(vec![]),
+            Message::CreditKeys(vec![[0xAB; 32], [0xCD; 32]]),
+            Message::GetCreditEvents(vec![]),
+            Message::GetCreditEvents(vec![[0xEF; 32]]),
         ]
     }
 
@@ -500,6 +775,79 @@ mod tests {
     }
 
     #[test]
+    fn forged_peer_exchange_count_is_capped() {
+        // A PeerExchange frame declaring u64::MAX entries with an empty
+        // body must be rejected before any allocation.
+        let mut frame = vec![10u8];
+        frame.extend_from_slice(&[0xFF; 9]);
+        frame.push(0x7F);
+        assert!(matches!(decode_msg(&frame), Err(WireError::BadLength(_))));
+        // Even a plausible count over the protocol cap is refused, no
+        // matter how much padding backs it.
+        let mut frame = vec![10u8];
+        frame.extend_from_slice(&encode_varint((MAX_PEER_ENTRIES + 1) as u64));
+        frame.extend_from_slice(&vec![0u8; (MAX_PEER_ENTRIES + 1) * MIN_PEER_ENTRY]);
+        assert_eq!(
+            decode_msg(&frame),
+            Err(WireError::BadLength((MAX_PEER_ENTRIES + 1) as u64))
+        );
+    }
+
+    #[test]
+    fn forged_digest_count_is_capped() {
+        for tag in [11u8, 12u8, 13u8, 14u8] {
+            let mut frame = vec![tag];
+            frame.extend_from_slice(&[0xFF; 9]);
+            frame.push(0x7F);
+            assert!(matches!(decode_msg(&frame), Err(WireError::BadLength(_))), "tag {tag}");
+            let mut frame = vec![tag];
+            frame.extend_from_slice(&encode_varint((MAX_IDS_PER_DIGEST + 1) as u64));
+            frame.extend_from_slice(&vec![0u8; (MAX_IDS_PER_DIGEST + 1) * 32 + 4]);
+            assert_eq!(
+                decode_msg(&frame),
+                Err(WireError::BadLength((MAX_IDS_PER_DIGEST + 1) as u64)),
+                "tag {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_peer_addr_rejected() {
+        let msg = Message::PeerExchange(vec![PeerEntry {
+            node_id: 1,
+            addr: "x".repeat(MAX_ADDR_BYTES + 1),
+        }]);
+        assert_eq!(decode_msg(&encode_msg(&msg)), Err(WireError::BadAddr));
+        let hello = Message::Hello {
+            version: PROTOCOL_VERSION,
+            node_id: 1,
+            genesis: None,
+            baseline: [0; 32],
+            listen_addr: Some("y".repeat(MAX_ADDR_BYTES + 1)),
+        };
+        assert_eq!(decode_msg(&encode_msg(&hello)), Err(WireError::BadAddr));
+    }
+
+    #[test]
+    fn non_utf8_peer_addr_rejected() {
+        // Hand-build a tag-10 frame whose address bytes are invalid UTF-8
+        // but whose checksum is honest: the UTF-8 check still fires.
+        let bad = [0xFFu8, 0xFE];
+        let mut frame = vec![10u8, 1];
+        frame.extend_from_slice(&7u64.to_be_bytes());
+        frame.push(bad.len() as u8);
+        frame.extend_from_slice(&bad);
+        frame.extend_from_slice(&peer_entry_checksum(7, &bad));
+        assert_eq!(decode_msg(&frame), Err(WireError::BadAddr));
+    }
+
+    fn encode_varint(v: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, v);
+        out
+    }
+
+    #[test]
     fn baseline_hash_orders_and_distinguishes() {
         let a = baseline_hash(Some(TxId([1; 32])), &[TxId([2; 32])]);
         let b = baseline_hash(Some(TxId([1; 32])), &[TxId([3; 32])]);
@@ -517,6 +865,77 @@ mod tests {
             garbage in proptest::collection::vec(any::<u8>(), 0..600),
         ) {
             let _ = decode_msg(&garbage);
+        }
+
+        #[test]
+        fn prop_peer_exchange_bit_flip_rejected(
+            ids in proptest::collection::vec(1u64..u64::MAX, 1..6),
+            byte_frac in 0u32..1000,
+            bit in 0u8..8,
+        ) {
+            // Every entry carries a truncated-SHA-256 checksum over its id
+            // and address bytes, so any single flipped bit in the frame is
+            // rejected (structurally, or by a checksum) rather than
+            // becoming a different peer.
+            let entries: Vec<PeerEntry> = ids
+                .iter()
+                .map(|&n| PeerEntry { node_id: n, addr: format!("10.0.0.{}:7000", n % 250) })
+                .collect();
+            let mut frame = encode_msg(&Message::PeerExchange(entries));
+            let idx = (byte_frac as usize * frame.len()) / 1000;
+            frame[idx] ^= 1 << bit;
+            prop_assert!(decode_msg(&frame).is_err());
+        }
+
+        #[test]
+        fn prop_digest_bit_flip_rejected(
+            seeds in proptest::collection::vec(any::<u8>(), 1..20),
+            byte_frac in 0u32..1000,
+            bit in 0u8..8,
+        ) {
+            // The id list is checksummed as a whole: a flipped bit cannot
+            // silently become a request for a phantom transaction.
+            let ids: Vec<TxId> = seeds.iter().map(|&b| TxId([b; 32])).collect();
+            let mut frame = encode_msg(&Message::Digest(ids));
+            let idx = (byte_frac as usize * frame.len()) / 1000;
+            frame[idx] ^= 1 << bit;
+            prop_assert!(decode_msg(&frame).is_err());
+        }
+
+        #[test]
+        fn prop_credit_keys_bit_flip_rejected(
+            seeds in proptest::collection::vec(any::<u8>(), 1..20),
+            byte_frac in 0u32..1000,
+            bit in 0u8..8,
+        ) {
+            // Same guarantee for the credit-key digest: a flipped bit
+            // cannot silently become a pull for a phantom credit event.
+            let keys: Vec<[u8; 32]> = seeds.iter().map(|&b| [b; 32]).collect();
+            let mut frame = encode_msg(&Message::CreditKeys(keys));
+            let idx = (byte_frac as usize * frame.len()) / 1000;
+            frame[idx] ^= 1 << bit;
+            prop_assert!(decode_msg(&frame).is_err());
+        }
+
+        #[test]
+        fn prop_new_frame_truncation_rejected(
+            cut_frac in 0u32..1000,
+        ) {
+            let msgs = vec![
+                Message::PeerExchange(vec![
+                    PeerEntry { node_id: 3, addr: "a:1".into() },
+                    PeerEntry { node_id: 4, addr: "b:2".into() },
+                ]),
+                Message::Digest(vec![TxId([1; 32]), TxId([2; 32])]),
+                Message::GetTxs(vec![TxId([3; 32])]),
+                Message::CreditKeys(vec![[5; 32], [6; 32]]),
+                Message::GetCreditEvents(vec![[7; 32]]),
+            ];
+            for msg in msgs {
+                let frame = encode_msg(&msg);
+                let cut = (cut_frac as usize * frame.len()) / 1000;
+                prop_assert!(decode_msg(&frame[..cut]).is_err());
+            }
         }
 
         #[test]

@@ -18,6 +18,8 @@
 //!   anti-entropy.
 //! * [`loadgen`] — concurrent light-node load generation against the
 //!   `biot-ingest` reactor over real sockets.
+//! * [`mesh`] — N-node gossip fleet runner: seeded topology, oracle
+//!   workload, partition/heal, bytes-on-wire accounting.
 //! * [`fleet`] — many honest nodes + attackers on one gateway (isolation).
 //! * [`wireless`] — multi-hop sensor topologies with relay failures.
 //! * [`throughput`] — tangle vs chain effective-TPS comparison (§II).
@@ -45,6 +47,7 @@ pub mod factory;
 pub mod fleet;
 pub mod gossip;
 pub mod loadgen;
+pub mod mesh;
 pub mod pi;
 pub mod runner;
 pub mod throughput;

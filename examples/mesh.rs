@@ -1,0 +1,237 @@
+//! Five-node gossip mesh over real TCP loopback sockets, bootstrapped
+//! from a single seed.
+//!
+//! One seed node holds a DAG of sensor readings plus a batch of credit
+//! events. Four joiners boot cold knowing ONLY the seed's address: they
+//! dial it, learn each other's addresses through peer exchange, open
+//! direct links, and converge — identical tips, identical cumulative
+//! weights, identical `(CrP, CrN, Cr)` per device — with transaction
+//! payloads spreading by digest-and-pull rather than flood. Each joiner
+//! then issues a live reading and the mesh re-converges.
+//!
+//! Run with: `cargo run --release --example mesh`
+
+use biot::credit::event::CreditEvent;
+use biot::credit::ledger::CreditLedger;
+use biot::credit::params::CreditParams;
+use biot::gossip::node::{GossipConfig, GossipNode, RelayMode};
+use biot::gossip::tcp::{TcpAcceptor, TcpConnector, TcpDialer};
+use biot::net::time::SimTime;
+use biot::tangle::graph::Tangle;
+use biot::tangle::tx::{NodeId, Payload, TransactionBuilder, TxId};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const NODES: usize = 5;
+const SEED_TXS: u32 = 120;
+const DEVICES: usize = 4;
+
+fn mesh_config(node_id: u64, listen: String) -> GossipConfig {
+    GossipConfig {
+        node_id,
+        listen_addr: Some(listen),
+        relay_mode: RelayMode::Digest,
+        digest_ms: 25,
+        peer_exchange_ms: 250,
+        anti_entropy_ms: 500,
+        ..GossipConfig::default()
+    }
+}
+
+fn device(n: usize) -> NodeId {
+    NodeId([0xD0 + n as u8; 32])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- The seed: an established gateway with history to share. ------
+    let seed_tangle = Arc::new(Mutex::new(Tangle::new()));
+    let mut credit_events = Vec::new();
+    {
+        let mut t = seed_tangle.lock().unwrap();
+        t.attach_genesis(NodeId([0xAA; 32]), 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut now = 0u64;
+        for n in 0..SEED_TXS {
+            now += 10;
+            let tips = t.tips();
+            let trunk = tips[rng.next_u64() as usize % tips.len()];
+            let branch = tips[rng.next_u64() as usize % tips.len()];
+            let tx = TransactionBuilder::new(device(n as usize % DEVICES))
+                .parents(trunk, branch)
+                .payload(Payload::Data(n.to_be_bytes().to_vec()))
+                .timestamp_ms(now)
+                .build();
+            t.attach(tx, now)?;
+            credit_events.push(CreditEvent::validated(
+                device(n as usize % DEVICES),
+                1.0,
+                SimTime::from_millis(now),
+            ));
+        }
+        println!(
+            "seed: established DAG with {} transactions, {} tips, {} credit events",
+            t.len(),
+            t.tips().len(),
+            credit_events.len()
+        );
+    }
+
+    // --- Five nodes, each listening; joiners know only the seed. ------
+    let mut acceptors = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..NODES {
+        let a = TcpAcceptor::bind("127.0.0.1:0")?;
+        addrs.push(a.local_addr()?.to_string());
+        acceptors.push(a);
+    }
+    let mut nodes: Vec<GossipNode> = Vec::new();
+    for (i, addr) in addrs.iter().enumerate() {
+        let cfg = mesh_config(i as u64 + 1, addr.clone());
+        let mut node = if i == 0 {
+            GossipNode::new(Arc::clone(&seed_tangle), cfg)
+        } else {
+            GossipNode::with_empty_tangle(cfg)
+        };
+        node.set_dialer(Box::new(TcpDialer));
+        if i > 0 {
+            node.connect(Box::new(TcpConnector { addr: addrs[0].parse()? }));
+        }
+        nodes.push(node);
+    }
+    println!("seed listening on {}; 4 joiners dialing it cold", addrs[0]);
+
+    let mut ledgers: Vec<CreditLedger> =
+        (0..NODES).map(|_| CreditLedger::new(CreditParams::default())).collect();
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(60);
+    let target = seed_tangle.lock().unwrap().len();
+    let mut seeded_credit = false;
+
+    let poll_all = |nodes: &mut Vec<GossipNode>,
+                        ledgers: &mut Vec<CreditLedger>|
+     -> Result<(), Box<dyn std::error::Error>> {
+        let now = start.elapsed().as_millis() as u64;
+        for (i, node) in nodes.iter_mut().enumerate() {
+            for t in acceptors[i].try_accept_all(16)? {
+                node.add_transport(Box::new(t), now);
+            }
+            node.poll(now);
+            for ev in node.take_credit_events() {
+                ledgers[i].apply(&ev);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        Ok(())
+    };
+
+    // --- Phase 1: bootstrap + peer discovery + full sync. -------------
+    loop {
+        poll_all(&mut nodes, &mut ledgers)?;
+        // Broadcast the seed's credit history once its first link is up.
+        if !seeded_credit && nodes[0].ready_peers() > 0 {
+            let now = start.elapsed().as_millis() as u64;
+            nodes[0].broadcast_credit_events(&credit_events, now);
+            for ev in &credit_events {
+                ledgers[0].apply(ev);
+            }
+            seeded_credit = true;
+        }
+        let synced = nodes.iter().all(|n| {
+            n.tangle().lock().unwrap().len() == target && n.pending_len() == 0
+        });
+        // Peer exchange must have opened links beyond the seed star:
+        // every joiner directly connected to at least 3 of the other 4.
+        let meshed = nodes.iter().all(|n| n.ready_peers() >= 3);
+        let credit_done =
+            seeded_credit && ledgers.iter().all(|l| l.events_applied() == SEED_TXS as u64);
+        if synced && meshed && credit_done {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "mesh did not converge in 60s: sizes {:?}, ready {:?}, credit {:?}",
+                nodes
+                    .iter()
+                    .map(|n| n.tangle().lock().unwrap().len())
+                    .collect::<Vec<_>>(),
+                nodes.iter().map(|n| n.ready_peers()).collect::<Vec<_>>(),
+                ledgers.iter().map(|l| l.events_applied()).collect::<Vec<_>>(),
+            )
+            .into());
+        }
+    }
+    println!(
+        "mesh converged after {:?}: every node holds {} transactions, \
+         direct links per node: {:?}",
+        start.elapsed(),
+        target,
+        nodes.iter().map(|n| n.ready_peers()).collect::<Vec<_>>()
+    );
+
+    // --- Phase 2: every joiner issues a live reading. ------------------
+    let mut live_ids: Vec<TxId> = Vec::new();
+    for (i, node) in nodes.iter_mut().enumerate().skip(1) {
+        let now = start.elapsed().as_millis() as u64;
+        let (trunk, branch) = {
+            let t = node.tangle().lock().unwrap();
+            let tips = t.tips();
+            (tips[0], tips[tips.len() - 1])
+        };
+        let tx = TransactionBuilder::new(device(i - 1))
+            .parents(trunk, branch)
+            .payload(Payload::Data(format!("live from node {}", i + 1).into_bytes()))
+            .timestamp_ms(now)
+            .build();
+        live_ids.push(node.attach_local(tx, now)?);
+    }
+    loop {
+        poll_all(&mut nodes, &mut ledgers)?;
+        let all_live = nodes.iter().all(|n| {
+            let t = n.tangle().lock().unwrap();
+            live_ids.iter().all(|id| t.contains(id)) && n.pending_len() == 0
+        });
+        if all_live {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err("live readings never reached the whole mesh".into());
+        }
+    }
+
+    // --- Final agreement: tips, weights, credit. -----------------------
+    let reference = nodes[0].tangle();
+    let ta = reference.lock().unwrap();
+    for node in nodes.iter().skip(1) {
+        let tb = node.tangle().lock().unwrap();
+        assert_eq!(ta.len(), tb.len());
+        assert_eq!(ta.tips(), tb.tips());
+        assert!(ta.iter().all(|tx| {
+            let id = tx.id();
+            ta.cumulative_weight(&id) == tb.cumulative_weight(&id)
+        }));
+    }
+    let now = SimTime::from_millis(start.elapsed().as_millis() as u64);
+    for d in 0..DEVICES {
+        let reference = ledgers[0].credit_of(device(d), now);
+        for ledger in ledgers.iter().skip(1) {
+            let b = ledger.credit_of(device(d), now);
+            assert_eq!(reference.positive.to_bits(), b.positive.to_bits());
+            assert_eq!(reference.negative.to_bits(), b.negative.to_bits());
+            assert_eq!(reference.combined.to_bits(), b.combined.to_bits());
+        }
+        println!(
+            "device {d}: CrP={:.3} CrN={:.3} Cr={:.3} (identical on all {NODES} nodes)",
+            reference.positive, reference.negative, reference.combined
+        );
+    }
+    println!(
+        "all {} nodes agree: {} transactions, {} tips, bit-identical credit",
+        NODES,
+        ta.len(),
+        ta.tips().len()
+    );
+    Ok(())
+}
