@@ -17,12 +17,14 @@
 //! ## Layering
 //!
 //! * [`sys`] — raw Linux `epoll` syscalls (x86-64 / aarch64, no libc
-//!   dependency); absent on other targets.
+//!   dependency); absent on other targets. Since PR 9 these live in the
+//!   shared [`biot_reactor`] crate and are re-exported here.
 //! * [`reactor`] — the [`reactor::Poller`] abstraction:
 //!   [`reactor::EpollPoller`] (readiness from the kernel, O(ready) per
 //!   tick) with a portable level-triggered [`reactor::ScanPoller`]
 //!   fallback (O(connections) per tick) that doubles as the naive
-//!   baseline in `results/BENCH_ingest.json`.
+//!   baseline in `results/BENCH_ingest.json`. Also re-exported from
+//!   [`biot_reactor`], which `biot-node`'s HTTP query endpoint shares.
 //! * [`protocol`] — the minimal length-prefixed client protocol:
 //!   `SubmitTx` / `SubmitBatch` in, `Ack` with per-transaction result
 //!   codes out.

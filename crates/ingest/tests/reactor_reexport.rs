@@ -1,0 +1,40 @@
+//! Regression guard for the PR-9 reactor extraction: the items under
+//! `biot_ingest::reactor` must be *the same items* as `biot_reactor`'s —
+//! not parallel copies — so code written against either path interops
+//! freely and the ingest suite is behaviourally unchanged.
+
+use biot_ingest::reactor as via_ingest;
+
+/// A function written against the shared crate's types...
+fn count_ready(poller: &mut dyn biot_reactor::Poller) -> usize {
+    let mut events: Vec<biot_reactor::Event> = Vec::new();
+    poller.poll(&mut events, 0).unwrap();
+    events.len()
+}
+
+#[test]
+fn reexported_types_are_the_same_items() {
+    // ...accepts a poller built through the historical ingest path. This
+    // compiles only if the trait, Event, Interest, and PollerKind are
+    // identical items in both namespaces.
+    let mut scan = via_ingest::ScanPoller::new();
+    let interest: biot_reactor::Interest = via_ingest::Interest::READ;
+    assert_eq!(interest, biot_reactor::Interest::READ);
+    via_ingest::Poller::register(&mut scan, 7, 1, interest).unwrap();
+    assert_eq!(count_ready(&mut scan), 1);
+
+    let kind: biot_reactor::PollerKind = via_ingest::PollerKind::Scan;
+    let mut built = via_ingest::build_poller(kind).unwrap();
+    assert_eq!(built.kind(), biot_reactor::PollerKind::Scan);
+    assert_eq!(count_ready(built.as_mut()), 0);
+}
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[test]
+fn sys_reexport_is_the_same_module() {
+    // The syscall wrappers moved too; the constants must agree because
+    // they are the same consts.
+    assert_eq!(biot_ingest::sys::EPOLLIN, biot_reactor::sys::EPOLLIN);
+    let ep = biot_ingest::sys::epoll_create1().unwrap();
+    biot_reactor::sys::close(ep);
+}

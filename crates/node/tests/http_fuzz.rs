@@ -1,0 +1,216 @@
+//! Property fuzz for the from-scratch HTTP/1.1 parser (satellite of the
+//! role-runtime PR): whatever bytes arrive, in whatever fragmentation,
+//! the parser must never panic, must respect its caps, and must parse
+//! split input exactly like contiguous input.
+
+use biot_node::http::{HttpError, Request, RequestParser, MAX_HEAD_BYTES};
+use proptest::prelude::*;
+
+/// Drains a parser: every parsed request, then the terminal error if any.
+fn drain(parser: &mut RequestParser) -> (Vec<Request>, Option<HttpError>) {
+    let mut reqs = Vec::new();
+    loop {
+        match parser.next_request() {
+            Ok(Some(req)) => reqs.push(req),
+            Ok(None) => return (reqs, None),
+            Err(e) => return (reqs, Some(e)),
+        }
+    }
+}
+
+/// One-shot parse of a contiguous byte string.
+fn parse_all(bytes: &[u8]) -> (Vec<Request>, Option<HttpError>) {
+    let mut parser = RequestParser::new();
+    if let Err(e) = parser.push(bytes) {
+        let (reqs, inner) = drain(&mut parser);
+        return (reqs, Some(inner.unwrap_or(e)));
+    }
+    drain(&mut parser)
+}
+
+/// Splits `bytes` into chunks whose sizes cycle through `cuts` (1-based),
+/// feeding each chunk and draining between pushes — the harshest
+/// fragmentation a TCP stream can produce.
+fn parse_fragmented(bytes: &[u8], cuts: &[usize]) -> (Vec<Request>, Option<HttpError>) {
+    let mut parser = RequestParser::new();
+    let mut reqs = Vec::new();
+    let mut offset = 0;
+    let mut cut_idx = 0;
+    while offset < bytes.len() {
+        let step = cuts[cut_idx % cuts.len()].max(1).min(bytes.len() - offset);
+        cut_idx += 1;
+        if let Err(e) = parser.push(&bytes[offset..offset + step]) {
+            return (reqs, Some(e));
+        }
+        offset += step;
+        let (mut got, err) = drain(&mut parser);
+        reqs.append(&mut got);
+        if let Some(e) = err {
+            return (reqs, Some(e));
+        }
+    }
+    (reqs, None)
+}
+
+/// A generator for syntactically valid requests with assorted shapes.
+fn valid_request() -> impl Strategy<Value = Vec<u8>> {
+    (0u8..5, 0usize..4, 0u8..3).prop_map(|(path_kind, headers, conn)| {
+        let path = match path_kind {
+            0 => "/v1/health".to_string(),
+            1 => "/v1/tips".to_string(),
+            2 => format!("/v1/tx/{}", "ab".repeat(32)),
+            3 => "/v1/credit?at_ms=12345".to_string(),
+            _ => "/".to_string(),
+        };
+        let mut req = format!("GET {path} HTTP/1.1\r\n");
+        for h in 0..headers {
+            req.push_str(&format!("X-Fuzz-{h}: value-{h}\r\n"));
+        }
+        match conn {
+            0 => req.push_str("Connection: close\r\n"),
+            1 => req.push_str("Connection: keep-alive\r\n"),
+            _ => {}
+        }
+        req.push_str("\r\n");
+        req.into_bytes()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes, arbitrary fragmentation: no panic, and the
+    /// buffered tail never exceeds the head cap plus one chunk.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..512),
+        cuts in proptest::collection::vec(1usize..32, 1..8),
+    ) {
+        let _ = parse_fragmented(&bytes, &cuts);
+    }
+
+    /// Mostly-structured garbage (CRLFs, colons, spaces sprinkled into
+    /// random ASCII) exercises deeper parse paths than pure noise.
+    #[test]
+    fn structured_garbage_never_panics(
+        pieces in proptest::collection::vec(
+            prop_oneof![
+                Just(b"GET ".to_vec()),
+                Just(b"\r\n".to_vec()),
+                Just(b"\r\n\r\n".to_vec()),
+                Just(b": ".to_vec()),
+                Just(b" HTTP/1.1".to_vec()),
+                Just(b" HTTP/9.9".to_vec()),
+                Just(b"/v1/".to_vec()),
+                Just(b"\x00\xff".to_vec()),
+                proptest::collection::vec(32u8..127, 0..12),
+            ],
+            0..24,
+        ),
+    ) {
+        let bytes: Vec<u8> = pieces.concat();
+        let (one_shot_reqs, one_shot_err) = parse_all(&bytes);
+        let (frag_reqs, frag_err) = parse_fragmented(&bytes, &[1]);
+        // Byte-at-a-time parsing agrees with contiguous parsing.
+        prop_assert_eq!(one_shot_reqs, frag_reqs);
+        prop_assert_eq!(one_shot_err, frag_err);
+    }
+
+    /// A pipeline of valid requests parses completely, in order, and
+    /// identically whether it arrives whole or byte-at-a-time.
+    #[test]
+    fn pipelined_valid_requests_all_parse(
+        reqs in proptest::collection::vec(valid_request(), 1..6),
+        cuts in proptest::collection::vec(1usize..9, 1..5),
+    ) {
+        let stream: Vec<u8> = reqs.concat();
+        let (whole, whole_err) = parse_all(&stream);
+        prop_assert!(whole_err.is_none(), "valid pipeline errored: {:?}", whole_err);
+        prop_assert_eq!(whole.len(), reqs.len());
+        let (split, split_err) = parse_fragmented(&stream, &cuts);
+        prop_assert!(split_err.is_none());
+        prop_assert_eq!(whole, split);
+    }
+
+    /// Any strict prefix of a single valid request yields no request, no
+    /// error (truncation is just "not yet"), except when the cut lands
+    /// beyond a complete head.
+    #[test]
+    fn truncation_is_silent(
+        req in valid_request(),
+        cut_seed in proptest::arbitrary::any::<u16>(),
+    ) {
+        // The head ends at the final CRLFCRLF; any cut before that is a
+        // strict prefix of an incomplete head.
+        let cut = (cut_seed as usize) % req.len();
+        let (reqs, err) = parse_all(&req[..cut]);
+        prop_assert!(reqs.is_empty(), "prefix of one request parsed a request");
+        prop_assert!(err.is_none(), "prefix errored: {:?}", err);
+    }
+
+    /// Oversized request lines fail with a size error — before the
+    /// connection has buffered anywhere near the full head cap.
+    #[test]
+    fn oversized_request_line_rejected(extra in 0usize..512) {
+        let mut bytes = b"GET /".to_vec();
+        bytes.extend(std::iter::repeat_n(b'a', 2048 + extra));
+        let (reqs, err) = parse_fragmented(&bytes, &[7]);
+        prop_assert!(reqs.is_empty());
+        prop_assert_eq!(err, Some(HttpError::TooLong));
+    }
+
+    /// Header floods trip a cap (too many headers, or the head-byte
+    /// ceiling) rather than growing without bound.
+    #[test]
+    fn header_flood_rejected(headers in 70usize..200) {
+        let mut bytes = b"GET / HTTP/1.1\r\n".to_vec();
+        for h in 0..headers {
+            bytes.extend_from_slice(format!("X-Flood-{h}: x\r\n").as_bytes());
+        }
+        bytes.extend_from_slice(b"\r\n");
+        let (reqs, err) = parse_all(&bytes);
+        prop_assert!(reqs.is_empty());
+        prop_assert!(
+            matches!(err, Some(HttpError::TooManyHeaders | HttpError::HeadTooLarge)),
+            "expected a cap error, got {:?}",
+            err
+        );
+    }
+
+}
+
+proptest! {
+    // Each case trickles ~16 KiB through the parser in tiny pushes with a
+    // full head-scan per push; a handful of chunk sizes covers it.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An endless headerless trickle hits the head-byte ceiling instead
+    /// of buffering forever.
+    #[test]
+    fn unterminated_head_hits_cap(chunk in 1usize..64) {
+        let mut parser = RequestParser::new();
+        parser.push(b"GET / HTTP/1.1\r\n").unwrap();
+        prop_assert!(parser.next_request().unwrap().is_none());
+        let mut fed = 16usize;
+        let filler = vec![b'h'; chunk];
+        let verdict: Result<(), HttpError> = loop {
+            // One long header, CRLF-split so the line cap never fires
+            // before the head cap.
+            match parser.push(b"X: y\r\n").and_then(|()| parser.push(&filler)) {
+                Ok(()) => {}
+                Err(e) => break Err(e),
+            }
+            fed += 6 + chunk;
+            match parser.next_request() {
+                Ok(r) => prop_assert!(r.is_none()),
+                Err(e) => break Err(e),
+            }
+            prop_assert!(fed < 4 * MAX_HEAD_BYTES, "cap never fired");
+        };
+        prop_assert!(
+            matches!(verdict, Err(HttpError::HeadTooLarge | HttpError::TooLong)),
+            "expected a size error, got {:?}",
+            verdict
+        );
+    }
+}

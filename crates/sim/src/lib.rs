@@ -20,6 +20,8 @@
 //!   `biot-ingest` reactor over real sockets.
 //! * [`mesh`] — N-node gossip fleet runner: seeded topology, oracle
 //!   workload, partition/heal, bytes-on-wire accounting.
+//! * [`roles`] — mixed-role fleet (archival / validation / light):
+//!   bit-for-bit convergence plus HTTP-vs-oracle byte equality.
 //! * [`fleet`] — many honest nodes + attackers on one gateway (isolation).
 //! * [`wireless`] — multi-hop sensor topologies with relay failures.
 //! * [`throughput`] — tangle vs chain effective-TPS comparison (§II).
@@ -49,6 +51,7 @@ pub mod gossip;
 pub mod loadgen;
 pub mod mesh;
 pub mod pi;
+pub mod roles;
 pub mod runner;
 pub mod throughput;
 pub mod wireless;

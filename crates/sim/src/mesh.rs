@@ -262,9 +262,11 @@ struct Fleet {
     cut: Arc<AtomicBool>,
 }
 
-fn seeded_edges(cfg: &MeshConfig) -> Vec<(usize, usize)> {
-    let n = cfg.nodes;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7070_1234);
+/// Random bounded-degree connected topology: a ring plus seeded chords.
+/// Shared with [`crate::roles`], which wires a mixed-role fleet over the
+/// same link shapes.
+pub(crate) fn seeded_edges(n: usize, degree: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7070_1234);
     let mut set = BTreeSet::new();
     for i in 0..n {
         set.insert((i.min((i + 1) % n), i.max((i + 1) % n)));
@@ -272,7 +274,7 @@ fn seeded_edges(cfg: &MeshConfig) -> Vec<(usize, usize)> {
     let mut deg = vec![2usize; n];
     for i in 0..n {
         let mut attempts = 0;
-        while deg[i] < cfg.degree && attempts < 64 {
+        while deg[i] < degree && attempts < 64 {
             attempts += 1;
             let j = rng.gen_range(0..n);
             if j == i {
@@ -320,7 +322,7 @@ fn build_fleet(cfg: &MeshConfig, genesis_issuer: NodeId) -> Fleet {
         })
         .collect();
 
-    for (i, j) in seeded_edges(cfg) {
+    for (i, j) in seeded_edges(cfg.nodes, cfg.degree, cfg.seed) {
         let accept = Arc::clone(&accept);
         let links = Arc::clone(&links);
         let cut = Arc::clone(&cut);

@@ -105,6 +105,9 @@ pub enum StoreError {
     Replay(TangleError),
     /// The snapshot file is structurally invalid.
     CorruptSnapshot(&'static str),
+    /// A mutating call on a store opened with
+    /// [`LedgerStore::open_read_only`].
+    ReadOnly,
 }
 
 impl fmt::Display for StoreError {
@@ -115,6 +118,7 @@ impl fmt::Display for StoreError {
             StoreError::CreditCodec(e) => write!(f, "stored credit event corrupt: {e}"),
             StoreError::Replay(e) => write!(f, "log replay failed: {e}"),
             StoreError::CorruptSnapshot(what) => write!(f, "snapshot corrupt: {what}"),
+            StoreError::ReadOnly => write!(f, "store opened read-only"),
         }
     }
 }
@@ -266,7 +270,10 @@ fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
 /// log.
 pub struct LedgerStore {
     dir: PathBuf,
-    wal: File,
+    /// The active WAL segment's append handle; `None` for a store opened
+    /// with [`LedgerStore::open_read_only`], which never touches the
+    /// write path.
+    wal: Option<File>,
     /// WAL format version in force: 2 for fresh stores, 1 when an old
     /// untagged log was found on open (appends then stay untagged so the
     /// file remains self-consistent until the segment is sealed).
@@ -351,18 +358,60 @@ impl LedgerStore {
         };
         Ok(Self {
             dir,
-            wal,
+            wal: Some(wal),
             wal_version,
             active,
             config,
         })
     }
 
+    /// Opens an *existing* store directory for reading only — the mode an
+    /// archival node serves queries from: snapshot + sealed segments are
+    /// readable, but the WAL write path is never taken (no segment is
+    /// created, no magic written, no append handle held). Every mutating
+    /// call ([`append`](Self::append), [`checkpoint`](Self::checkpoint),
+    /// [`compact_step`](Self::compact_step), …) fails with
+    /// [`StoreError::ReadOnly`].
+    ///
+    /// [`recover_full`](Self::recover_full) additionally tolerates a
+    /// *concurrent* writer's incremental compaction: if a segment file
+    /// vanishes between the directory listing and its read (the
+    /// compaction's atomic snapshot rename plus segment unlink), recovery
+    /// restarts from the fresh snapshot instead of failing.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory does not exist; other
+    /// filesystem failures propagate.
+    pub fn open_read_only(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        if !dir.is_dir() {
+            return Err(StoreError::Io(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("store directory {} does not exist", dir.display()),
+            )));
+        }
+        Ok(Self {
+            dir,
+            wal: None,
+            wal_version: 2,
+            active: 0,
+            config: StoreConfig::default(),
+        })
+    }
+
+    /// Whether this handle was opened with
+    /// [`open_read_only`](Self::open_read_only).
+    pub fn is_read_only(&self) -> bool {
+        self.wal.is_none()
+    }
+
     /// Seals the active segment and starts the next one once it has
     /// outgrown [`StoreConfig::segment_bytes`]. Called after every append
     /// so a segment exceeds the threshold by at most one record.
     fn roll_if_full(&mut self) -> Result<(), StoreError> {
-        if self.wal.metadata()?.len() < self.config.segment_bytes {
+        let wal = self.wal.as_ref().ok_or(StoreError::ReadOnly)?;
+        if wal.metadata()?.len() < self.config.segment_bytes {
             return Ok(());
         }
         let next = self.active + 1;
@@ -370,7 +419,7 @@ impl LedgerStore {
         let mut f = File::create(&path)?;
         f.write_all(WAL_MAGIC)?;
         f.sync_data()?;
-        self.wal = OpenOptions::new().append(true).read(true).open(&path)?;
+        self.wal = Some(OpenOptions::new().append(true).read(true).open(&path)?);
         // Fresh segments are always current-format, even when segment 0
         // was a legacy v1 log.
         self.wal_version = 2;
@@ -393,8 +442,9 @@ impl LedgerStore {
         write_varint(&mut record, attach_ms);
         write_varint(&mut record, body.len() as u64);
         record.extend_from_slice(&body);
-        self.wal.write_all(&record)?;
-        self.wal.sync_data()?;
+        let wal = self.wal.as_mut().ok_or(StoreError::ReadOnly)?;
+        wal.write_all(&record)?;
+        wal.sync_data()?;
         self.roll_if_full()
     }
 
@@ -423,8 +473,9 @@ impl LedgerStore {
             write_varint(&mut record, body.len() as u64);
             record.extend_from_slice(&body);
         }
-        self.wal.write_all(&record)?;
-        self.wal.sync_data()?;
+        let wal = self.wal.as_mut().ok_or(StoreError::ReadOnly)?;
+        wal.write_all(&record)?;
+        wal.sync_data()?;
         self.roll_if_full()
     }
 
@@ -443,6 +494,9 @@ impl LedgerStore {
     /// temporary file and renamed, so a crash mid-checkpoint leaves the
     /// previous checkpoint intact.
     pub fn checkpoint(&mut self, tangle: &Tangle) -> Result<(), StoreError> {
+        if self.wal.is_none() {
+            return Err(StoreError::ReadOnly);
+        }
         if self.dir.join("snapshot.biot").exists() && !self.has_wal_records()? {
             return Ok(());
         }
@@ -458,7 +512,7 @@ impl LedgerStore {
         let mut wal = File::create(&wal_path)?;
         wal.write_all(WAL_MAGIC)?;
         wal.sync_data()?;
-        self.wal = OpenOptions::new().append(true).read(true).open(&wal_path)?;
+        self.wal = Some(OpenOptions::new().append(true).read(true).open(&wal_path)?);
         self.wal_version = 2;
         self.active = 0;
         Ok(())
@@ -588,6 +642,9 @@ impl LedgerStore {
     /// Propagates filesystem failures; corruption inside the folded
     /// segment surfaces as the corresponding [`StoreError`].
     pub fn compact_step(&mut self) -> Result<bool, StoreError> {
+        if self.wal.is_none() {
+            return Err(StoreError::ReadOnly);
+        }
         let snap_path = self.dir.join("snapshot.biot");
         let (mut tangle, mut carried, watermark) = if snap_path.exists() {
             let snap = self.read_snapshot_file(&snap_path)?;
@@ -656,6 +713,77 @@ impl LedgerStore {
     ///
     /// See [`StoreError`].
     pub fn recover_full(&self) -> Result<RecoveredState, StoreError> {
+        // A concurrent writer's compact_step may commit a snapshot rename
+        // (and unlink the folded segment) between our snapshot read and
+        // our segment reads. The attempt detects both shapes of that torn
+        // read — a listed file vanishing (NotFound) or the snapshot
+        // watermark advancing mid-read (Interrupted) — and restarting it
+        // re-reads the fresh snapshot, whose advanced watermark skips the
+        // folded segment. Bounded: each retry needs another compaction to
+        // land inside the window, so a genuinely missing file still fails.
+        let mut last = None;
+        for _ in 0..32 {
+            match self.recover_attempt() {
+                Err(StoreError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::NotFound | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    last = Some(StoreError::Io(e));
+                }
+                other => return other,
+            }
+        }
+        Err(last.expect("loop ran at least once"))
+    }
+
+    fn recover_attempt(&self) -> Result<RecoveredState, StoreError> {
+        // Torn-read sandwich: if the snapshot watermark moved while we
+        // were reading, a compaction committed mid-read and whatever we
+        // assembled (or whatever error we hit) reflects a mix of old
+        // snapshot and new segment list. Discard and retry. Replay errors
+        // with a *stable* watermark are genuine corruption and surface.
+        let observed = self.snapshot_watermark()?;
+        let result = self.recover_body();
+        if self.snapshot_watermark()? != observed {
+            return Err(StoreError::Io(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "snapshot advanced during recovery",
+            )));
+        }
+        result
+    }
+
+    /// Reads only the snapshot header's segment watermark — `None` when
+    /// no snapshot exists. Cheap enough to run twice per recovery as the
+    /// concurrent-compaction torn-read detector.
+    fn snapshot_watermark(&self) -> Result<Option<u64>, StoreError> {
+        let path = self.dir.join("snapshot.biot");
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        // Magic plus a maximal varint; the snapshot is always longer.
+        let mut head = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 10);
+        file.take(head.capacity() as u64).read_to_end(&mut head)?;
+        if head.len() < SNAPSHOT_MAGIC.len() {
+            return Err(StoreError::CorruptSnapshot("magic"));
+        }
+        match &head[..SNAPSHOT_MAGIC.len()] {
+            m if m == SNAPSHOT_MAGIC => {
+                let mut pos = SNAPSHOT_MAGIC.len();
+                read_varint(&head, &mut pos)
+                    .map(Some)
+                    .ok_or(StoreError::CorruptSnapshot("watermark"))
+            }
+            m if m == SNAPSHOT_MAGIC_V1 => Ok(Some(0)),
+            _ => Err(StoreError::CorruptSnapshot("magic")),
+        }
+    }
+
+    fn recover_body(&self) -> Result<RecoveredState, StoreError> {
         let snap_path = self.dir.join("snapshot.biot");
         let (mut tangle, mut credit_events, watermark) = if snap_path.exists() {
             let snap = self.read_snapshot_file(&snap_path)?;
@@ -1625,5 +1753,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn read_only_recovers_but_refuses_every_write() {
+        let dir = TempDir::new();
+        let (_writer, tangle, events) = segmented_world(&dir, 256, 8);
+
+        let mut ro = LedgerStore::open_read_only(&dir.0).unwrap();
+        assert!(ro.is_read_only());
+
+        // Same bytes, same state as a writable open.
+        let recovered = ro.recover_full().unwrap();
+        let rt = recovered.tangle.unwrap();
+        assert_eq!(rt.len(), tangle.len());
+        assert_eq!(rt.tips(), tangle.tips());
+        assert_eq!(recovered.credit_events, events);
+
+        // Every mutating entry point is refused, and refusal leaves the
+        // on-disk log untouched.
+        let before = ro.segment_paths().unwrap();
+        let tx = TransactionBuilder::new(NodeId([9; 32]))
+            .parents(tangle.tips()[0], tangle.tips()[0])
+            .payload(Payload::Data(vec![9]))
+            .timestamp_ms(999)
+            .build();
+        assert!(matches!(ro.append(&tx, 999), Err(StoreError::ReadOnly)));
+        assert!(matches!(
+            ro.append_credit_events(&[mis(9, 9)]),
+            Err(StoreError::ReadOnly)
+        ));
+        assert!(matches!(ro.checkpoint(&tangle), Err(StoreError::ReadOnly)));
+        assert!(matches!(ro.compact_step(), Err(StoreError::ReadOnly)));
+        assert_eq!(ro.segment_paths().unwrap(), before);
+
+        // A read-only open never creates files either: opening a missing
+        // directory is an error instead of a silent mkdir.
+        assert!(LedgerStore::open_read_only(dir.0.join("nope")).is_err());
+    }
+
+    #[test]
+    fn read_only_recover_tolerates_concurrent_compaction() {
+        // A writable owner folds segments (rename + unlink) while a
+        // read-only handle recovers in a loop. The reader may list a
+        // segment the writer unlinks before it is read; `recover_full`
+        // retries from the freshly committed snapshot, so every recovery
+        // observes the complete state.
+        let dir = TempDir::new();
+        let (mut store, tangle, events) = segmented_world(&dir, 256, 12);
+        assert!(store.segment_count().unwrap() > 2);
+        let expect_len = tangle.len();
+
+        std::thread::scope(|s| {
+            let reader_dir = dir.0.clone();
+            let reader = s.spawn(move || {
+                let ro = LedgerStore::open_read_only(&reader_dir).unwrap();
+                let mut recoveries = 0usize;
+                for _ in 0..200 {
+                    let recovered = ro.recover_full().unwrap();
+                    assert_eq!(recovered.tangle.unwrap().len(), expect_len);
+                    assert_eq!(recovered.credit_events, events);
+                    recoveries += 1;
+                }
+                recoveries
+            });
+            while store.compact_step().unwrap() {
+                std::thread::yield_now();
+            }
+            assert!(reader.join().unwrap() > 0);
+        });
+        assert_eq!(store.segment_count().unwrap(), 1);
     }
 }

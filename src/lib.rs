@@ -20,6 +20,8 @@
 //! * [`sim`] (`biot-sim`) — Pi calibration, workloads, attack and
 //!   throughput experiments.
 //! * [`store`] (`biot-store`) — file-backed WAL + snapshot persistence.
+//! * [`node`] (`biot-node`) — archival / validation / light role
+//!   runtimes with the HTTP/1.1 query API.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the figure-regeneration harness.
@@ -32,7 +34,9 @@ pub use biot_core as core;
 pub use biot_credit as credit;
 pub use biot_crypto as crypto;
 pub use biot_gossip as gossip;
+pub use biot_ingest as ingest;
 pub use biot_net as net;
+pub use biot_node as node;
 pub use biot_sim as sim;
 pub use biot_store as store;
 pub use biot_tangle as tangle;
