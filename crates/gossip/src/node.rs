@@ -32,11 +32,13 @@ use crate::wire::{
 use biot_credit::event::encode_event;
 use biot_credit::CreditEvent;
 use biot_crypto::sha256::sha256;
+use biot_reactor::DeadlineQueue;
 use biot_tangle::graph::{Tangle, TangleError};
 use biot_tangle::tx::{Transaction, TxId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::os::fd::RawFd;
 use std::sync::{Arc, Mutex};
 
 /// A tangle shared between its owner (gateway, simulator) and the gossip
@@ -282,6 +284,11 @@ struct PeerSlot {
     /// lets the flush drop keys for events the peer turned out to hold
     /// already — the credit analogue of digest crossing suppression.
     credit_buf: Vec<[u8; 32]>,
+    /// Announce mode only: credit events broadcast while this peer's
+    /// handshake was still in flight (or its connection between dials).
+    /// Announce has no replay store, so without this buffer such events
+    /// were silently lost — delivered once the peer's Hello completes.
+    prehello_credit: Vec<CreditEvent>,
     failures: u32,
     backoff_ms: u64,
     next_retry_ms: u64,
@@ -342,6 +349,27 @@ fn credit_key(ev: &CreditEvent) -> [u8; 32] {
     sha256(&encode_event(ev))
 }
 
+/// The node's periodic work, each an explicit deadline in one
+/// [`DeadlineQueue`] instead of a private `next_*_ms` field compared
+/// against `now` every tick. The declaration order is the firing order
+/// within one poll (same order the old per-field checks ran in), so
+/// seeded runs stay bit-for-bit reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum GossipTimer {
+    /// Tips exchange with one rotated peer + stale re-requests
+    /// ([`GossipConfig::anti_entropy_ms`]).
+    AntiEntropy,
+    /// Liveness heartbeats to every ready peer
+    /// ([`GossipConfig::heartbeat_ms`]; unscheduled when 0).
+    Heartbeat,
+    /// Digest-mode flush of buffered tx ids and credit keys
+    /// ([`GossipConfig::digest_ms`]; only scheduled in digest mode).
+    DigestFlush,
+    /// Peer-exchange gossip of the address book
+    /// ([`GossipConfig::peer_exchange_ms`]; unscheduled when 0).
+    PeerExchange,
+}
+
 /// One in-flight `GetTx`/`GetTxs` request: when it was (last) sent and
 /// which peer was asked, so a stale retry can rotate to a different peer.
 struct Requested {
@@ -365,6 +393,9 @@ const MAX_PREHELLO: usize = 256;
 /// Credit events per `CreditEvents` frame (≤ ~50 B each, stays well
 /// under the frame limit).
 const CREDIT_EVENTS_PER_FRAME: usize = 512;
+/// Cap on credit events buffered per peer awaiting its handshake
+/// (Announce mode); the oldest are dropped past it.
+const MAX_PREHELLO_CREDIT: usize = 8_192;
 /// Cap on credit events waiting in the inbox for the owner to drain;
 /// a hostile peer cannot balloon memory past this.
 const MAX_CREDIT_INBOX: usize = 65_536;
@@ -402,10 +433,8 @@ pub struct GossipNode {
     rng: StdRng,
     /// Rotating offset so digest fanout spreads over eligible peers.
     rr: usize,
-    next_anti_entropy_ms: u64,
-    next_heartbeat_ms: u64,
-    next_digest_ms: u64,
-    next_pex_ms: u64,
+    /// The periodic work, as explicit deadlines (see [`GossipTimer`]).
+    timers: DeadlineQueue<GossipTimer>,
     pending_seq: u64,
     stats: GossipStats,
 }
@@ -427,6 +456,19 @@ impl GossipNode {
             cfg.seed ^ cfg.node_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let seen = SeenCache::new(cfg.seen_cache);
+        // Every enabled timer starts due at 0 so the first poll runs it
+        // immediately, exactly like the old zero-initialized fields.
+        let mut timers = DeadlineQueue::new();
+        timers.schedule(GossipTimer::AntiEntropy, 0);
+        if cfg.heartbeat_ms > 0 {
+            timers.schedule(GossipTimer::Heartbeat, 0);
+        }
+        if cfg.relay_mode == RelayMode::Digest {
+            timers.schedule(GossipTimer::DigestFlush, 0);
+        }
+        if cfg.peer_exchange_ms > 0 {
+            timers.schedule(GossipTimer::PeerExchange, 0);
+        }
         Self {
             cfg,
             tangle,
@@ -443,10 +485,7 @@ impl GossipNode {
             credit_requested: BTreeMap::new(),
             rng,
             rr: 0,
-            next_anti_entropy_ms: 0,
-            next_heartbeat_ms: 0,
-            next_digest_ms: 0,
-            next_pex_ms: 0,
+            timers,
             pending_seq: 0,
             stats: GossipStats::default(),
         }
@@ -499,6 +538,7 @@ impl GossipNode {
             node_id: 0,
             digest_buf: Vec::new(),
             credit_buf: Vec::new(),
+            prehello_credit: Vec::new(),
             failures: 0,
             backoff_ms: 0,
             next_retry_ms: 0,
@@ -525,6 +565,7 @@ impl GossipNode {
             node_id: 0,
             digest_buf: Vec::new(),
             credit_buf: Vec::new(),
+            prehello_credit: Vec::new(),
             failures: 0,
             backoff_ms: 0,
             next_retry_ms: 0,
@@ -609,12 +650,36 @@ impl GossipNode {
             return;
         }
         if self.cfg.relay_mode == RelayMode::Announce {
+            // Snapshot readiness first: a peer whose send fails mid-call
+            // goes unready, and buffering the same events for it would
+            // double-deliver the chunks that did land (Announce has no
+            // dedup — the receiving ledger would double-count).
+            let unready: Vec<usize> =
+                (0..self.peers.len()).filter(|&i| !self.peer_ready(i)).collect();
             for chunk in events.chunks(CREDIT_EVENTS_PER_FRAME) {
                 let msg = Message::CreditEvents(chunk.to_vec());
                 for i in 0..self.peers.len() {
                     if self.peer_ready(i) && self.send_to(i, &msg, now_ms) {
                         self.stats.credit_events_sent += chunk.len() as u64;
                     }
+                }
+            }
+            // Peers mid-handshake or between dials would silently miss
+            // these (fire-and-forget has no replay store): hold the
+            // events per-peer and deliver them when the Hello completes.
+            for i in unready {
+                let slot = &mut self.peers[i];
+                let reachable = slot.conn.is_some()
+                    || slot.connector.is_some()
+                    || slot.addr.is_some();
+                if slot.dead || !reachable {
+                    continue;
+                }
+                slot.prehello_credit.extend_from_slice(events);
+                if slot.prehello_credit.len() > MAX_PREHELLO_CREDIT {
+                    let excess = slot.prehello_credit.len() - MAX_PREHELLO_CREDIT;
+                    slot.prehello_credit.drain(..excess);
+                    self.stats.credit_events_dropped += excess as u64;
                 }
             }
             return;
@@ -760,38 +825,91 @@ impl GossipNode {
     }
 
     /// One protocol step at virtual (or wall) time `now_ms`: redial due
-    /// peers, send handshakes, process inbound frames, run the
-    /// anti-entropy and heartbeat timers.
+    /// peers, send handshakes, process inbound frames, run the due
+    /// timers (anti-entropy, heartbeat, digest flush, peer exchange).
     pub fn poll(&mut self, now_ms: u64) {
         self.redial_due_peers(now_ms);
         for i in 0..self.peers.len() {
             self.service_peer(i, now_ms);
         }
         self.expire_silent_peers(now_ms);
-        if now_ms >= self.next_anti_entropy_ms {
-            self.next_anti_entropy_ms = now_ms + self.cfg.anti_entropy_ms;
+        self.run_due_timers(now_ms);
+    }
+
+    /// Fires every due timer, in [`GossipTimer`] declaration order —
+    /// the same sequence the old per-field checks ran in — then
+    /// reschedules each one interval out from *now* (not from its old
+    /// deadline: a node woken late does not try to catch up).
+    fn run_due_timers(&mut self, now_ms: u64) {
+        let due =
+            |timers: &DeadlineQueue<GossipTimer>, t| timers.deadline_of(&t).is_some_and(|d| now_ms >= d);
+        if due(&self.timers, GossipTimer::AntiEntropy) {
+            self.timers.schedule(GossipTimer::AntiEntropy, now_ms + self.cfg.anti_entropy_ms);
             self.run_anti_entropy(now_ms);
         }
-        if self.cfg.heartbeat_ms > 0 && now_ms >= self.next_heartbeat_ms {
-            self.next_heartbeat_ms = now_ms + self.cfg.heartbeat_ms;
+        if due(&self.timers, GossipTimer::Heartbeat) {
+            self.timers.schedule(GossipTimer::Heartbeat, now_ms + self.cfg.heartbeat_ms);
             for i in 0..self.peers.len() {
                 if self.peer_ready(i) {
                     self.send_to(i, &Message::Heartbeat(now_ms), now_ms);
                 }
             }
         }
-        if self.cfg.relay_mode == RelayMode::Digest && now_ms >= self.next_digest_ms {
-            self.next_digest_ms = now_ms + self.cfg.digest_ms.max(1);
+        if due(&self.timers, GossipTimer::DigestFlush) {
+            self.timers.schedule(GossipTimer::DigestFlush, now_ms + self.cfg.digest_ms.max(1));
             self.flush_digests(now_ms);
         }
-        if self.cfg.peer_exchange_ms > 0 && now_ms >= self.next_pex_ms {
-            self.next_pex_ms = now_ms + self.cfg.peer_exchange_ms;
+        if due(&self.timers, GossipTimer::PeerExchange) {
+            self.timers.schedule(GossipTimer::PeerExchange, now_ms + self.cfg.peer_exchange_ms);
             for i in 0..self.peers.len() {
                 if self.peer_ready(i) {
                     self.send_peer_exchange_to(i, now_ms);
                 }
             }
         }
+    }
+
+    /// The earliest instant at which [`poll`](Self::poll) has scheduled
+    /// work: the next periodic timer or the next reconnect retry — or
+    /// `Some(0)` when work is pending *right now* (an unsent handshake,
+    /// or a transport holding a userspace-buffered frame a readiness
+    /// poller would never re-report). An event loop sleeps until this
+    /// deadline or socket readiness, whichever lands first; silence
+    /// detection needs no entry of its own because the heartbeat timer
+    /// (whose window it is measured in) already wakes the node often
+    /// enough. `None` only when every timer is disabled and no peer is
+    /// redialable.
+    pub fn next_deadline(&self) -> Option<u64> {
+        let mut next = self.timers.next_deadline();
+        for slot in &self.peers {
+            if slot.dead {
+                continue;
+            }
+            if let Some(c) = &slot.conn {
+                if !c.hello_sent || c.transport.has_pending_input() {
+                    return Some(0);
+                }
+                continue;
+            }
+            let redialable =
+                slot.connector.is_some() || (slot.addr.is_some() && self.dialer.is_some());
+            if redialable {
+                next = Some(next.map_or(slot.next_retry_ms, |n| n.min(slot.next_retry_ms)));
+            }
+        }
+        next
+    }
+
+    /// Socket fds of every live peer transport, paired with whether the
+    /// transport has unsent outbound bytes (write interest). In-memory
+    /// transports report no fd and are skipped — an event loop drives
+    /// those off [`next_deadline`](Self::next_deadline) alone.
+    pub fn transport_fds(&self) -> Vec<(RawFd, bool)> {
+        self.peers
+            .iter()
+            .filter_map(|s| s.conn.as_ref())
+            .filter_map(|c| c.transport.raw_fd().map(|fd| (fd, c.transport.wants_write())))
+            .collect()
     }
 
     // --- Connection lifecycle ------------------------------------------------
@@ -876,6 +994,7 @@ impl GossipNode {
         }
         self.peers[i].dead = true;
         self.peers[i].incompatible = true;
+        self.peers[i].prehello_credit.clear();
         self.stats.incompatible += 1;
     }
 
@@ -1445,6 +1564,7 @@ impl GossipNode {
                 node_id: e.node_id,
                 digest_buf: Vec::new(),
             credit_buf: Vec::new(),
+            prehello_credit: Vec::new(),
                 failures: 0,
                 backoff_ms: 0,
                 next_retry_ms: now_ms,
@@ -1584,6 +1704,19 @@ impl GossipNode {
         self.peers[i].backoff_ms = 0;
         if self.cfg.peer_exchange_ms > 0 {
             self.send_peer_exchange_to(i, now_ms);
+        }
+        if self.cfg.relay_mode == RelayMode::Announce {
+            // Deliver the credit events broadcast while this peer's
+            // handshake was still in flight (the Announce analogue of
+            // the mesh replay below).
+            let held = std::mem::take(&mut self.peers[i].prehello_credit);
+            for chunk in held.chunks(CREDIT_EVENTS_PER_FRAME) {
+                if self.send_to(i, &Message::CreditEvents(chunk.to_vec()), now_ms) {
+                    self.stats.credit_events_sent += chunk.len() as u64;
+                } else {
+                    break;
+                }
+            }
         }
         if self.cfg.relay_mode != RelayMode::Announce && !self.credit_replay.is_empty() {
             // Partition heal: a freshly handshaken peer may have missed
@@ -2186,6 +2319,76 @@ mod tests {
             "ready peer gets the events, got {msgs:?}"
         );
         assert!(silent.drain().is_empty(), "unhandshaken peer gets nothing");
+    }
+
+    #[test]
+    fn credit_events_before_handshake_are_buffered_and_flushed_on_hello() {
+        use biot_credit::Misbehavior;
+        use biot_net::time::SimTime;
+        let (mut node, g) = node_with_genesis();
+        let mut late = wire_fake_peer(&mut node);
+        node.poll(0);
+
+        // Regression: these used to vanish — the slot existed but the
+        // handshake had not completed, so Announce relay skipped it and
+        // fire-and-forget had nothing to replay.
+        let events = vec![
+            CreditEvent::validated(NodeId([1; 32]), 1.0, SimTime::from_secs(1)),
+            CreditEvent::misbehaved(NodeId([2; 32]), Misbehavior::DoubleSpend, SimTime::from_secs(2)),
+        ];
+        node.broadcast_credit_events(&events, 5);
+        assert_eq!(node.stats().credit_events_sent, 0, "nothing on the wire yet");
+        assert!(
+            late.drain().iter().all(|m| !matches!(m, Message::CreditEvents(_))),
+            "no credit frames before the handshake completes"
+        );
+
+        late.send(&FakePeer::hello(Some(g)));
+        node.poll(10);
+        let delivered: Vec<CreditEvent> = late
+            .drain()
+            .into_iter()
+            .filter_map(|m| match m {
+                Message::CreditEvents(evs) => Some(evs),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(delivered, events, "held events arrive once the peer is ready");
+        assert_eq!(node.stats().credit_events_sent, 2);
+
+        // The buffer is drained: a later broadcast is not doubled.
+        let more = vec![CreditEvent::validated(NodeId([3; 32]), 2.0, SimTime::from_secs(3))];
+        node.broadcast_credit_events(&more, 20);
+        let next: Vec<CreditEvent> = late
+            .drain()
+            .into_iter()
+            .filter_map(|m| match m {
+                Message::CreditEvents(evs) => Some(evs),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(next, more, "no replayed duplicates after the flush");
+    }
+
+    #[test]
+    fn prehello_credit_buffer_is_bounded_dropping_oldest() {
+        use biot_net::time::SimTime;
+        let (mut node, _g) = node_with_genesis();
+        let _late = wire_fake_peer(&mut node);
+        node.poll(0);
+
+        let burst: Vec<CreditEvent> = (0..1_000u64)
+            .map(|i| CreditEvent::validated(NodeId([1; 32]), 1.0, SimTime::from_millis(i)))
+            .collect();
+        for _ in 0..((MAX_PREHELLO_CREDIT / burst.len()) + 2) {
+            node.broadcast_credit_events(&burst, 5);
+        }
+        assert_eq!(node.peers[0].prehello_credit.len(), MAX_PREHELLO_CREDIT);
+        assert!(node.stats().credit_events_dropped > 0, "overflow accounted");
+        let newest = node.peers[0].prehello_credit.last().unwrap();
+        assert_eq!(newest.at(), SimTime::from_millis(999), "oldest dropped first");
     }
 
     #[test]

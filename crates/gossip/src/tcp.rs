@@ -278,6 +278,19 @@ impl Transport for TcpTransport {
     fn label(&self) -> String {
         format!("tcp:{}", self.peer)
     }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> Option<RawFd> {
+        Some(self.stream.as_raw_fd())
+    }
+
+    fn wants_write(&self) -> bool {
+        self.open && !self.tx.is_empty()
+    }
+
+    fn has_pending_input(&self) -> bool {
+        self.has_buffered_frame()
+    }
 }
 
 /// Accepts inbound gossip connections without blocking.

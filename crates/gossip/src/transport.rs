@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::os::fd::RawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -77,6 +78,31 @@ pub trait Transport: Send {
     /// Human-readable peer label for logs.
     fn label(&self) -> String {
         "peer".to_string()
+    }
+
+    /// The raw socket fd when this transport is socket-backed, for
+    /// readiness registration with a [`biot_reactor::Poller`]. `None`
+    /// for in-memory transports — an event loop then drives them off
+    /// timers instead of kernel readiness. The transport keeps
+    /// ownership; do not close it.
+    fn raw_fd(&self) -> Option<RawFd> {
+        None
+    }
+
+    /// True while unsent outbound bytes are queued — the event loop's
+    /// cue to register write interest so the backlog drains on
+    /// writability instead of on the next incidental poll.
+    fn wants_write(&self) -> bool {
+        false
+    }
+
+    /// True when a frame is already buffered in userspace (decoded or
+    /// decodable without touching the socket). Level-triggered pollers
+    /// only report *kernel* readiness, so a loop that budgets frames per
+    /// wake must re-visit transports reporting this without waiting for
+    /// the socket to speak again.
+    fn has_pending_input(&self) -> bool {
+        false
     }
 }
 
@@ -208,6 +234,18 @@ impl Transport for CountingTransport {
     fn label(&self) -> String {
         self.inner.label()
     }
+
+    fn raw_fd(&self) -> Option<RawFd> {
+        self.inner.raw_fd()
+    }
+
+    fn wants_write(&self) -> bool {
+        self.inner.wants_write()
+    }
+
+    fn has_pending_input(&self) -> bool {
+        self.inner.has_pending_input()
+    }
 }
 
 // --- In-memory loopback ------------------------------------------------------
@@ -303,37 +341,18 @@ impl Transport for MemTransport {
     fn label(&self) -> String {
         self.name.clone()
     }
+
+    fn has_pending_input(&self) -> bool {
+        !self.in_queue().lock().unwrap().is_empty()
+    }
 }
 
 // --- Virtual clock + jitter wrapper ------------------------------------------
 
-/// A shared virtual clock in milliseconds. Tests advance it explicitly;
-/// [`JitterTransport`] reads it to decide which delayed frames are due —
-/// no wall-clock dependence anywhere.
-#[derive(Clone, Debug, Default)]
-pub struct VirtualClock(Arc<AtomicU64>);
-
-impl VirtualClock {
-    /// A clock starting at 0 ms.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Current virtual time, ms.
-    pub fn now_ms(&self) -> u64 {
-        self.0.load(Ordering::SeqCst)
-    }
-
-    /// Moves time forward.
-    pub fn advance(&self, ms: u64) {
-        self.0.fetch_add(ms, Ordering::SeqCst);
-    }
-
-    /// Jumps to an absolute instant (monotone use is the caller's job).
-    pub fn set(&self, ms: u64) {
-        self.0.store(ms, Ordering::SeqCst);
-    }
-}
+// The virtual clock moved into `biot-reactor` when the event loop grew a
+// unified `Clock` trait (wall vs virtual); re-exported here so existing
+// gossip-level callers keep working unchanged.
+pub use biot_reactor::{Clock, VirtualClock};
 
 /// Wraps any transport and delays each **inbound** frame by a latency
 /// drawn from a seeded [`LatencyModel`] against a [`VirtualClock`].
@@ -435,6 +454,20 @@ impl Transport for JitterTransport {
 
     fn label(&self) -> String {
         format!("jitter:{}", self.inner.label())
+    }
+
+    fn raw_fd(&self) -> Option<RawFd> {
+        self.inner.raw_fd()
+    }
+
+    fn wants_write(&self) -> bool {
+        self.inner.wants_write()
+    }
+
+    fn has_pending_input(&self) -> bool {
+        // A held frame only counts once its virtual due time has passed.
+        self.held.keys().next().is_some_and(|&(due, _)| due <= self.clock.now_ms())
+            || self.inner.has_pending_input()
     }
 }
 

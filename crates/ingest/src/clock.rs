@@ -48,6 +48,16 @@ impl Default for MonotonicClock {
     }
 }
 
+/// The reactor's [`Clock`](biot_reactor::Clock) view of the same
+/// instant stream: event loops that block on a shared poller read
+/// `now_ms()` here and feed it to every `SimTime`-driven subsystem,
+/// so the gateway has exactly one notion of "now".
+impl biot_reactor::Clock for MonotonicClock {
+    fn now_ms(&self) -> u64 {
+        self.now().as_millis()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -289,6 +289,35 @@ impl IngestServer {
         self.poller.kind()
     }
 
+    /// The poller's own pollable descriptor, when it has one (epoll).
+    ///
+    /// An outer event loop registers this fd for READ and wakes exactly
+    /// when some ingest socket is ready — epoll fds are themselves
+    /// level-readable while their ready-list is non-empty — instead of
+    /// calling [`IngestServer::poll`] on a timer.
+    pub fn poller_fd(&self) -> Option<std::os::fd::RawFd> {
+        self.poller.raw_fd()
+    }
+
+    /// Earliest instant (absolute ms) at which this server has internal
+    /// work that kernel readiness will *not* signal: buffered frames on
+    /// the resume list (due immediately), a parked listener waiting out
+    /// its accept backoff, or the next idle sweep. `None` when only
+    /// socket readiness can create work.
+    pub fn next_deadline(&self, now: SimTime) -> Option<u64> {
+        if !self.resume.is_empty() {
+            return Some(now.as_millis());
+        }
+        let mut next = self.accept_resume_at.map(SimTime::as_millis);
+        let timeout = self.config.idle_timeout_ms;
+        if !self.conns.is_empty() || timeout != 0 {
+            let horizon = if timeout == 0 { 60_000 } else { timeout };
+            let sweep_at = self.last_sweep.as_millis() + horizon / 4 + 1;
+            next = Some(next.map_or(sweep_at, |n| n.min(sweep_at)));
+        }
+        next
+    }
+
     /// Lifecycle and admission counters.
     pub fn stats(&self) -> IngestStats {
         self.stats

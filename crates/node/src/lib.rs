@@ -26,11 +26,13 @@
 #![forbid(unsafe_code)]
 
 pub mod api;
+pub mod event_loop;
 pub mod http;
 pub mod query;
 pub mod role;
 
 pub use api::{ApiState, HealthInfo};
+pub use event_loop::{EventLoop, EventLoopError, MemberId};
 pub use http::{HttpError, Request, RequestParser};
 pub use query::{QueryConfig, QueryServer, QueryStats};
 pub use role::{

@@ -160,6 +160,23 @@ impl QueryServer {
         self.poller.kind()
     }
 
+    /// The poller's own pollable descriptor, when it has one (epoll).
+    /// Lets an outer event loop wake on query-socket readiness by
+    /// registering this fd for READ rather than polling on a timer.
+    pub fn poller_fd(&self) -> Option<std::os::fd::RawFd> {
+        self.poller.raw_fd()
+    }
+
+    /// Earliest instant (absolute ms) of internal timed work: the next
+    /// idle-connection sweep. `None` while no connections are open or
+    /// idle reaping is disabled — then only socket readiness matters.
+    pub fn next_deadline(&self) -> Option<u64> {
+        if self.config.idle_timeout_ms == 0 || self.conns.is_empty() {
+            return None;
+        }
+        Some(self.last_sweep_ms + 1_000)
+    }
+
     /// Cumulative counters.
     pub fn stats(&self) -> QueryStats {
         self.stats

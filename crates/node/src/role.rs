@@ -41,6 +41,15 @@ use biot_tangle::tx::{NodeId, Payload, Transaction, TxId};
 use std::io;
 use std::path::PathBuf;
 
+/// Minimum of two optional deadlines (absolute ms) — `None` means "no
+/// timed work", so it never wins.
+fn min_deadline(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (x, None) | (None, x) => x,
+    }
+}
+
 /// The three node shapes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Role {
@@ -258,32 +267,84 @@ impl ArchivalNode {
     /// transactions, answer HTTP. Returns how many HTTP requests were
     /// answered.
     ///
+    /// Composes the three handlers an event loop dispatches
+    /// individually — [`ArchivalNode::on_gossip`],
+    /// [`ArchivalNode::on_persist`], [`ArchivalNode::on_http`] — in
+    /// exactly that order, so one tick and one event-loop wake perform
+    /// the same state transitions.
+    ///
     /// # Errors
     ///
     /// Store append failures (disk full and kin); HTTP poller failures.
     pub fn poll(&mut self, now_ms: u64) -> Result<usize, ArchivalBootError> {
+        self.on_gossip(now_ms)?;
+        self.on_persist()?;
+        self.on_http(now_ms)
+    }
+
+    /// Gossip handler: drive the mesh, fold fresh credit events into the
+    /// ledger, and append them to the store's event log.
+    ///
+    /// # Errors
+    ///
+    /// Store append failures.
+    pub fn on_gossip(&mut self, now_ms: u64) -> Result<(), ArchivalBootError> {
         self.now_ms = now_ms;
         self.gossip.poll(now_ms);
         let fresh = self.gossip.take_credit_events();
         for ev in &fresh {
             self.credits.apply(ev);
         }
-        if let Some(store) = &mut self.store {
-            if !fresh.is_empty() {
+        if !fresh.is_empty() {
+            if let Some(store) = &mut self.store {
                 store
                     .append_credit_events(&fresh)
                     .map_err(ArchivalBootError::Store)?;
             }
+        }
+        Ok(())
+    }
+
+    /// Persistence handler: append newly synced transactions to the
+    /// store. Clones are collected under the tangle lock and appended
+    /// only after it is released — `append` fsyncs and compacts, and
+    /// holding the shared tangle mutex across disk I/O would stall every
+    /// concurrent reader (the HTTP read views, gossip service threads)
+    /// for the duration.
+    ///
+    /// # Errors
+    ///
+    /// Store append failures (disk full and kin).
+    pub fn on_persist(&mut self) -> Result<(), ArchivalBootError> {
+        let Some(store) = &mut self.store else { return Ok(()) };
+        let (pending, order_len) = {
             let tangle = self.gossip.tangle().lock().unwrap();
             let order = tangle.attach_order();
-            for id in &order[self.persisted.min(order.len())..] {
-                if let (Some(tx), Some(at)) = (tangle.get(id), tangle.attach_time_ms(id)) {
-                    let tx = tx.clone();
-                    store.append(&tx, at).map_err(ArchivalBootError::Store)?;
-                }
-            }
-            self.persisted = order.len();
+            let pending: Vec<(Transaction, u64)> = order
+                [self.persisted.min(order.len())..]
+                .iter()
+                .filter_map(|id| match (tangle.get(id), tangle.attach_time_ms(id)) {
+                    (Some(tx), Some(at)) => Some((tx.clone(), at)),
+                    _ => None,
+                })
+                .collect();
+            (pending, order.len())
+        };
+        for (tx, at) in &pending {
+            store.append(tx, *at).map_err(ArchivalBootError::Store)?;
         }
+        self.persisted = order_len;
+        Ok(())
+    }
+
+    /// HTTP handler: answer whatever requests are ready, without
+    /// blocking. Returns how many were answered.
+    ///
+    /// # Errors
+    ///
+    /// HTTP poller failures.
+    pub fn on_http(&mut self, now_ms: u64) -> Result<usize, ArchivalBootError> {
+        self.now_ms = now_ms;
         let answered = match &mut self.http {
             Some(http) => {
                 let tangle = self.gossip.tangle().lock().unwrap();
@@ -302,6 +363,23 @@ impl ArchivalNode {
             None => 0,
         };
         Ok(answered)
+    }
+
+    /// The HTTP endpoint's own pollable descriptor (its epoll fd), for
+    /// an outer event loop to nest. `None` without an endpoint or under
+    /// the scan poller.
+    pub fn http_poller_fd(&self) -> Option<std::os::fd::RawFd> {
+        self.http.as_ref().and_then(QueryServer::poller_fd)
+    }
+
+    /// Earliest absolute instant (ms) at which this node has timed work
+    /// due — gossip timers, dial retries, the HTTP idle sweep. Socket
+    /// readiness can always create work earlier.
+    pub fn next_deadline(&self) -> Option<u64> {
+        min_deadline(
+            self.gossip.next_deadline(),
+            self.http.as_ref().and_then(QueryServer::next_deadline),
+        )
     }
 
     /// Checkpoints the store (snapshot + WAL reset) so the *next* boot is
@@ -445,10 +523,28 @@ impl ValidationNode {
     /// 4. mirror mesh transactions into the gateway's tangle and fold
     ///    mesh credit events into its ledger.
     ///
+    /// Composes the two handlers an event loop dispatches individually —
+    /// [`ValidationNode::on_ingest`], [`ValidationNode::on_gossip`] — in
+    /// exactly that order, so one tick and one event-loop wake perform
+    /// the same state transitions.
+    ///
     /// # Errors
     ///
     /// Ingest poller failures.
     pub fn poll(&mut self, now_ms: u64) -> io::Result<()> {
+        self.on_ingest(now_ms)?;
+        self.on_gossip(now_ms);
+        Ok(())
+    }
+
+    /// Ingest handler: serve the admission listener, then bridge the
+    /// gateway's newly accepted transactions and credit events onto the
+    /// mesh (steps 1–2 of the tick).
+    ///
+    /// # Errors
+    ///
+    /// Ingest poller failures.
+    pub fn on_ingest(&mut self, now_ms: u64) -> io::Result<()> {
         let now = SimTime::from_millis(now_ms);
         if let Some(ingest) = &mut self.ingest {
             ingest.poll(&mut self.gateway, now, 0)?;
@@ -463,6 +559,14 @@ impl ValidationNode {
             self.gossip.broadcast_credit_events(&own, now_ms);
             self.credit_log.extend(own);
         }
+        Ok(())
+    }
+
+    /// Gossip handler: drive the mesh, mirror mesh transactions into the
+    /// gateway's tangle, and fold mesh credit events into its ledger
+    /// (steps 3–4 of the tick).
+    pub fn on_gossip(&mut self, now_ms: u64) {
+        let now = SimTime::from_millis(now_ms);
         self.gossip.poll(now_ms);
         // Mesh → gateway. The shared tangle's attach order is
         // parent-before-child, so mirroring in order always solidifies.
@@ -488,7 +592,25 @@ impl ValidationNode {
             self.gateway.absorb_credit_events(&remote);
             self.credit_log.extend(remote);
         }
-        Ok(())
+    }
+
+    /// The ingest listener's own pollable descriptor (its epoll fd), for
+    /// an outer event loop to nest. `None` without a listener or under
+    /// the scan poller.
+    pub fn ingest_poller_fd(&self) -> Option<std::os::fd::RawFd> {
+        self.ingest.as_ref().and_then(IngestServer::poller_fd)
+    }
+
+    /// Earliest absolute instant (ms) at which this node has timed work
+    /// due — gossip timers, dial retries, ingest backoffs and sweeps.
+    /// Socket readiness can always create work earlier.
+    pub fn next_deadline(&self, now_ms: u64) -> Option<u64> {
+        min_deadline(
+            self.gossip.next_deadline(),
+            self.ingest
+                .as_ref()
+                .and_then(|i| i.next_deadline(SimTime::from_millis(now_ms))),
+        )
     }
 
     /// The validation role's defining check: rebuild a credit ledger

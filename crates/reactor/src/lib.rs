@@ -31,6 +31,10 @@ use std::os::fd::RawFd;
 #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
 pub mod sys;
 
+pub mod time;
+
+pub use time::{Clock, DeadlineQueue, VirtualClock, WallClock};
+
 /// What a registration wants to hear about.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Interest {
@@ -115,6 +119,17 @@ pub trait Poller: Send {
 
     /// Which implementation this is (for reports).
     fn kind(&self) -> PollerKind;
+
+    /// The poller's own pollable fd, when it has one. An epoll instance
+    /// is itself a file: it reads as ready whenever its interest list has
+    /// pending events, so an outer loop can nest a whole subsystem's
+    /// poller under one top-level `epoll_pwait` by registering this fd
+    /// with read interest. `None` for pollers with no kernel backing
+    /// (the scan poller) — the outer loop must then poll the subsystem
+    /// on a timer instead.
+    fn raw_fd(&self) -> Option<RawFd> {
+        None
+    }
 }
 
 /// Builds the requested poller, falling back to [`ScanPoller`] when the
@@ -285,6 +300,10 @@ mod epoll_impl {
 
         fn kind(&self) -> PollerKind {
             PollerKind::Epoll
+        }
+
+        fn raw_fd(&self) -> Option<RawFd> {
+            Some(self.epfd)
         }
     }
 }

@@ -40,7 +40,7 @@ use biot_net::latency::UniformLatency;
 use biot_net::time::SimTime;
 use biot_node::http::Request;
 use biot_node::role::{ArchivalNode, LightClient, Role, RoleConfig, ValidationNode};
-use biot_node::QueryConfig;
+use biot_node::{EventLoop, MemberId, QueryConfig};
 use biot_tangle::conflict::LazyTipPolicy;
 use biot_tangle::graph::Tangle;
 use biot_tangle::tx::{NodeId, Payload, Transaction, TransactionBuilder, TxId};
@@ -50,6 +50,18 @@ use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+
+/// Which runtime drives the fleet through virtual time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RolesDriver {
+    /// The legacy fixed-step loop: poll every node every `step_ms`.
+    /// Kept as the behavioral oracle the event loop is checked against.
+    #[default]
+    TickLoop,
+    /// The blocking reactor ([`biot_node::EventLoop`]) on a virtual
+    /// clock that jumps deadline-to-deadline instead of sleeping.
+    EventLoop,
+}
 
 /// Knobs for one mixed-role fleet run.
 #[derive(Clone, Debug, PartialEq)]
@@ -84,6 +96,8 @@ pub struct RolesConfig {
     pub max_ms: u64,
     /// Archival store directory (`None` = memory only).
     pub store_dir: Option<PathBuf>,
+    /// Which runtime drives the fleet (see [`RolesDriver`]).
+    pub driver: RolesDriver,
 }
 
 impl Default for RolesConfig {
@@ -104,6 +118,7 @@ impl Default for RolesConfig {
             step_ms: 25,
             max_ms: 600_000,
             store_dir: None,
+            driver: RolesDriver::default(),
         }
     }
 }
@@ -133,6 +148,13 @@ pub struct RolesOutcome {
     pub http_probes: usize,
     /// Probes whose socket bytes differed from the in-process oracle.
     pub http_mismatches: usize,
+    /// Driver-invariant digest of the converged fleet — sorted tips,
+    /// cumulative weights in oracle order, per-device credit bit
+    /// patterns at a fixed probe instant, and hashes of the archival
+    /// endpoint's rendered bytes for canonical requests. Two runs of
+    /// the same config under *different* drivers must agree on every
+    /// entry (empty until convergence).
+    pub fingerprint: Vec<String>,
 }
 
 /// The relay-side oracle workload (mirrors the mesh runner's).
@@ -256,6 +278,183 @@ impl FleetNode {
 
 /// Far ends of freshly dialed links, grouped by accepting node index.
 type AcceptQueues = Arc<Mutex<Vec<Vec<Box<dyn Transport>>>>>;
+
+/// Uniform read view over one fleet member, whichever driver holds it.
+struct FleetView<'a> {
+    gossip: &'a GossipNode,
+    ledger: &'a CreditLedger,
+    /// The validation gateway's internal tangle, when the member has
+    /// one — it must match the oracle too.
+    gateway_tangle: Option<&'a Tangle>,
+}
+
+/// The fleet under whichever runtime [`RolesConfig::driver`] picked.
+/// Every scripted injection and every convergence check goes through
+/// this, so both drivers run literally the same schedule.
+enum Driven {
+    Tick { nodes: Vec<FleetNode>, ledgers: Vec<CreditLedger> },
+    Event { el: EventLoop, ids: Vec<MemberId> },
+}
+
+impl Driven {
+    fn len(&self) -> usize {
+        match self {
+            Driven::Tick { nodes, .. } => nodes.len(),
+            Driven::Event { ids, .. } => ids.len(),
+        }
+    }
+
+    fn gossip(&self, i: usize) -> &GossipNode {
+        match self {
+            Driven::Tick { nodes, .. } => nodes[i].gossip(),
+            Driven::Event { el, ids } => el.gossip(ids[i]).expect("member exists"),
+        }
+    }
+
+    fn gossip_mut(&mut self, i: usize) -> &mut GossipNode {
+        match self {
+            Driven::Tick { nodes, .. } => nodes[i].gossip_mut(),
+            Driven::Event { el, ids } => el.gossip_mut(ids[i]).expect("member exists"),
+        }
+    }
+
+    /// Folds a locally injected credit event into relay `i`'s own
+    /// projection (broadcasts do not loop back to their origin).
+    fn apply_local_event(&mut self, i: usize, ev: &CreditEvent) {
+        match self {
+            Driven::Tick { ledgers, .. } => ledgers[i].apply(ev),
+            Driven::Event { el, ids } => {
+                el.ledger_mut(ids[i]).expect("relay member holds a ledger").apply(ev);
+            }
+        }
+    }
+
+    fn validation_mut(&mut self) -> &mut ValidationNode {
+        match self {
+            Driven::Tick { nodes, .. } => match &mut nodes[1] {
+                FleetNode::Validation(v) => v,
+                _ => unreachable!("node 1 is the validation node"),
+            },
+            Driven::Event { el, ids } => {
+                el.validation_mut(ids[1]).expect("node 1 is the validation node")
+            }
+        }
+    }
+
+    fn validation(&self) -> &ValidationNode {
+        match self {
+            Driven::Tick { nodes, .. } => match &nodes[1] {
+                FleetNode::Validation(v) => v,
+                _ => unreachable!("node 1 is the validation node"),
+            },
+            Driven::Event { el, ids } => {
+                el.validation(ids[1]).expect("node 1 is the validation node")
+            }
+        }
+    }
+
+    fn archival(&self) -> &ArchivalNode {
+        match self {
+            Driven::Tick { nodes, .. } => match &nodes[0] {
+                FleetNode::Archival(a) => a,
+                _ => unreachable!("node 0 is the archival node"),
+            },
+            Driven::Event { el, ids } => {
+                el.archival(ids[0]).expect("node 0 is the archival node")
+            }
+        }
+    }
+
+    fn archival_mut(&mut self) -> &mut ArchivalNode {
+        match self {
+            Driven::Tick { nodes, .. } => match &mut nodes[0] {
+                FleetNode::Archival(a) => a,
+                _ => unreachable!("node 0 is the archival node"),
+            },
+            Driven::Event { el, ids } => {
+                el.archival_mut(ids[0]).expect("node 0 is the archival node")
+            }
+        }
+    }
+
+    /// One round of virtual time `now`: the tick driver polls every
+    /// member once; the event driver pumps every deadline due by `now`,
+    /// each wake dispatching the same handler sequence one tick would.
+    fn step(&mut self, now: u64) {
+        match self {
+            Driven::Tick { nodes, ledgers } => {
+                for (node, ledger) in nodes.iter_mut().zip(ledgers.iter_mut()) {
+                    match node {
+                        FleetNode::Archival(n) => {
+                            n.poll(now).expect("archival poll");
+                        }
+                        FleetNode::Validation(n) => {
+                            n.poll(now).expect("validation poll");
+                        }
+                        FleetNode::Relay(n) => {
+                            n.poll(now);
+                            for ev in n.take_credit_events() {
+                                ledger.apply(&ev);
+                            }
+                        }
+                    }
+                }
+            }
+            Driven::Event { el, .. } => el.pump(now).expect("event-loop pump"),
+        }
+    }
+
+    /// One iteration of the HTTP probe phase: keep the archival reactor
+    /// (tick) or the whole loop (event) serviced at frozen virtual time.
+    fn probe_step(&mut self, now: u64) {
+        match self {
+            Driven::Tick { nodes, .. } => {
+                if let FleetNode::Archival(a) = &mut nodes[0] {
+                    a.poll(now).expect("archival poll during probes");
+                }
+            }
+            Driven::Event { el, .. } => el.turn().expect("event-loop turn during probes"),
+        }
+    }
+
+    fn view(&self, i: usize) -> FleetView<'_> {
+        match self {
+            Driven::Tick { nodes, ledgers } => match &nodes[i] {
+                FleetNode::Archival(n) => FleetView {
+                    gossip: n.gossip(),
+                    ledger: n.credits(),
+                    gateway_tangle: None,
+                },
+                FleetNode::Validation(n) => FleetView {
+                    gossip: n.gossip(),
+                    ledger: n.gateway().credits(),
+                    gateway_tangle: Some(n.gateway().tangle()),
+                },
+                FleetNode::Relay(n) => {
+                    FleetView { gossip: n, ledger: &ledgers[i], gateway_tangle: None }
+                }
+            },
+            Driven::Event { el, ids } => {
+                let id = ids[i];
+                if let Some(n) = el.archival(id) {
+                    FleetView { gossip: n.gossip(), ledger: n.credits(), gateway_tangle: None }
+                } else if let Some(n) = el.validation(id) {
+                    FleetView {
+                        gossip: n.gossip(),
+                        ledger: n.gateway().credits(),
+                        gateway_tangle: Some(n.gateway().tangle()),
+                    }
+                } else {
+                    FleetView {
+                        gossip: el.gossip(id).expect("member exists"),
+                        ledger: el.ledger(id).expect("relay member holds a ledger"),
+                        gateway_tangle: None,
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Requests the HTTP probe thread replays against the archival endpoint.
 fn probe_requests(workload: &Workload, lights: &[LightClient]) -> Vec<Request> {
@@ -384,7 +583,7 @@ pub fn run_roles(cfg: &RolesConfig) -> RolesOutcome {
     for node in nodes.iter_mut() {
         node.gossip_mut().tangle().lock().unwrap().attach_genesis(genesis_issuer, 0);
     }
-    let mut ledgers: Vec<CreditLedger> =
+    let ledgers: Vec<CreditLedger> =
         (0..cfg.nodes).map(|_| CreditLedger::new(CreditParams::default())).collect();
 
     for (i, j) in seeded_edges(cfg.nodes, cfg.degree, cfg.seed) {
@@ -421,11 +620,32 @@ pub fn run_roles(cfg: &RolesConfig) -> RolesOutcome {
         })));
     }
 
+    // Hand the built fleet to the configured driver. Identical members,
+    // identical wiring — only the engine advancing them differs.
+    let mut driven = match cfg.driver {
+        RolesDriver::TickLoop => Driven::Tick { nodes, ledgers },
+        RolesDriver::EventLoop => {
+            let mut el = EventLoop::with_clock(Box::new(clock.clone()))
+                .expect("event loop boots");
+            let mut ids = Vec::with_capacity(nodes.len());
+            for node in nodes {
+                ids.push(match node {
+                    FleetNode::Archival(n) => el.add_archival(*n),
+                    FleetNode::Validation(n) => el.add_validation(*n),
+                    FleetNode::Relay(n) => el.add_gossip(*n),
+                });
+            }
+            drop(ledgers); // event members carry their own projections
+            Driven::Event { el, ids }
+        }
+    };
+
     let mut injected = vec![false; workload.txs.len()];
     let mut next_tx = 0usize;
     let mut next_ev = 0usize;
     let mut next_sub = 0usize;
     let mut now = 0u64;
+    let mut loop_rounds = 0u64;
     let mut out = RolesOutcome {
         nodes: cfg.nodes,
         txs: cfg.txs,
@@ -448,11 +668,11 @@ pub fn run_roles(cfg: &RolesConfig) -> RolesOutcome {
                 continue;
             }
             let parents_known = {
-                let t = nodes[*origin].gossip().tangle().lock().unwrap();
+                let t = driven.gossip(*origin).tangle().lock().unwrap();
                 tx.parents().into_iter().all(|p| t.contains(&p))
             };
             if parents_known {
-                nodes[*origin].gossip_mut().submit(tx.clone(), *attach_ms, now);
+                driven.gossip_mut(*origin).submit(tx.clone(), *attach_ms, now);
                 injected[k] = true;
             }
         }
@@ -461,59 +681,37 @@ pub fn run_roles(cfg: &RolesConfig) -> RolesOutcome {
         }
         while next_ev < workload.events.len() && workload.events[next_ev].1 <= now {
             let (ev, _, origin) = &workload.events[next_ev];
-            ledgers[*origin].apply(ev);
-            nodes[*origin].gossip_mut().broadcast_credit_events(&[*ev], now);
+            driven.apply_local_event(*origin, ev);
+            driven.gossip_mut(*origin).broadcast_credit_events(&[*ev], now);
             next_ev += 1;
         }
         // Light submissions reach the live gateway at their scheduled
         // instants — the same instants the oracle twin already saw.
         while next_sub < submissions.len() && submissions[next_sub].2 <= now {
             let (_, tx, at_ms) = &submissions[next_sub];
-            if let FleetNode::Validation(v) = &mut nodes[1] {
-                v.gateway_mut()
-                    .submit(tx.clone(), SimTime::from_millis(*at_ms))
-                    .expect("scheduled light submission admits");
-            }
+            driven
+                .validation_mut()
+                .gateway_mut()
+                .submit(tx.clone(), SimTime::from_millis(*at_ms))
+                .expect("scheduled light submission admits");
             next_sub += 1;
         }
         {
             let mut accept = accept.lock().unwrap();
             for (j, inbox) in accept.iter_mut().enumerate() {
                 for t in inbox.drain(..) {
-                    nodes[j].gossip_mut().add_transport(t, now);
+                    driven.gossip_mut(j).add_transport(t, now);
                 }
             }
         }
-        for (node, ledger) in nodes.iter_mut().zip(ledgers.iter_mut()) {
-            match node {
-                FleetNode::Archival(n) => {
-                    n.poll(now).expect("archival poll");
-                }
-                FleetNode::Validation(n) => {
-                    n.poll(now).expect("validation poll");
-                }
-                FleetNode::Relay(n) => {
-                    n.poll(now);
-                    for ev in n.take_credit_events() {
-                        ledger.apply(&ev);
-                    }
-                }
-            }
-        }
-        out.rounds += 1;
+        driven.step(now);
+        loop_rounds += 1;
 
         let workload_done = next_tx == workload.txs.len()
             && next_ev == workload.events.len()
             && next_sub == submissions.len();
         if workload_done
-            && fleet_matches_oracle(
-                &nodes,
-                &ledgers,
-                &oracle_tangle,
-                &oracle_ledger,
-                events_total,
-                cfg.max_ms,
-            )
+            && fleet_matches_oracle(&driven, &oracle_tangle, &oracle_ledger, events_total, cfg.max_ms)
         {
             out.converged = true;
             out.converged_ms = now;
@@ -521,6 +719,10 @@ pub fn run_roles(cfg: &RolesConfig) -> RolesOutcome {
         }
         now += cfg.step_ms.max(1);
     }
+    out.rounds = match &driven {
+        Driven::Tick { .. } => loop_rounds,
+        Driven::Event { el, .. } => el.wakeups(),
+    };
 
     if !out.converged {
         return out;
@@ -528,15 +730,19 @@ pub fn run_roles(cfg: &RolesConfig) -> RolesOutcome {
 
     // Role claim 2: the validation node's replay must equal its live
     // ledger device-for-device, bit-for-bit.
-    if let FleetNode::Validation(v) = &nodes[1] {
-        match v.verify_replay(SimTime::from_millis(cfg.max_ms)) {
-            Ok(devices) => {
-                out.replay_ok = true;
-                out.replay_devices = devices;
-            }
-            Err(_) => out.replay_ok = false,
+    match driven.validation().verify_replay(SimTime::from_millis(cfg.max_ms)) {
+        Ok(devices) => {
+            out.replay_ok = true;
+            out.replay_devices = devices;
         }
+        Err(_) => out.replay_ok = false,
     }
+
+    // The cross-driver digest, taken before the probe phase adds any
+    // more polls: same seed under tick loop and event loop must agree
+    // on every entry.
+    out.fingerprint =
+        fleet_fingerprint(driven.archival(), &oracle_tangle, &oracle_ledger, cfg.max_ms);
 
     // Role claim 3: every byte over the TCP socket equals the in-process
     // oracle rendering. The probe thread does blocking one-shot requests
@@ -545,8 +751,9 @@ pub fn run_roles(cfg: &RolesConfig) -> RolesOutcome {
         &Workload { tangle: oracle_tangle, ledger: oracle_ledger, txs: vec![], events: vec![] },
         &lights,
     );
-    if let FleetNode::Archival(a) = &mut nodes[0] {
-        let addr = a.http_addr().expect("http addr").expect("http enabled");
+    {
+        let addr =
+            driven.archival().http_addr().expect("http addr").expect("http enabled");
         let reqs = probes.clone();
         let worker = std::thread::spawn(move || -> Vec<Vec<u8>> {
             reqs.iter()
@@ -570,28 +777,84 @@ pub fn run_roles(cfg: &RolesConfig) -> RolesOutcome {
                 .collect()
         });
         while !worker.is_finished() {
-            a.poll(now).expect("archival poll during probes");
+            driven.probe_step(now);
         }
         let answers = worker.join().expect("probe thread");
         out.http_probes = probes.len();
         for (req, got) in probes.iter().zip(answers.iter()) {
-            if *got != a.oracle_response(req) {
+            if *got != driven.archival().oracle_response(req) {
                 out.http_mismatches += 1;
             }
         }
     }
-    if let FleetNode::Archival(a) = &mut nodes[0] {
-        a.checkpoint().expect("archival checkpoint");
-    }
+    driven.archival_mut().checkpoint().expect("archival checkpoint");
     out
+}
+
+/// Driver-invariant digest of the converged fleet, read off the archival
+/// node (every other member already matched the oracle bit-for-bit by
+/// the time this runs): sorted tips, cumulative weights in oracle order,
+/// per-device credit bit patterns at the fixed probe instant, and SHA-256
+/// hashes of the archival endpoint's rendered bytes for canonical
+/// requests. Deliberately excludes anything scheduling-dependent —
+/// attach times, `/v1/health`'s clock, gossip frame counters.
+fn fleet_fingerprint(
+    archival: &ArchivalNode,
+    oracle_tangle: &Tangle,
+    oracle_ledger: &CreditLedger,
+    probe_ms: u64,
+) -> Vec<String> {
+    let hex = |b: &[u8]| biot_crypto::sha256::to_hex(b);
+    // `Tangle::iter` walks a hash map — per-instance order. Sort so the
+    // digest depends on fleet *state*, never on iteration accidents.
+    let mut oracle_ids: Vec<TxId> = oracle_tangle.iter().map(|tx| tx.id()).collect();
+    oracle_ids.sort_unstable_by_key(|id| *id.as_bytes());
+    let mut fp = Vec::new();
+    {
+        let t = archival.gossip().tangle().lock().unwrap();
+        let mut tips: Vec<String> =
+            t.tips_iter().map(|id| hex(id.as_bytes())).collect();
+        tips.sort_unstable();
+        fp.push(format!("tips:{}", tips.join(",")));
+        for id in &oracle_ids {
+            fp.push(format!("w:{}:{}", hex(id.as_bytes()), t.cumulative_weight(id)));
+        }
+    }
+    let probe = SimTime::from_millis(probe_ms);
+    let mut subjects: Vec<NodeId> = oracle_ledger.known_nodes().copied().collect();
+    subjects.sort_unstable_by_key(|n| n.0);
+    for nid in &subjects {
+        let c = archival.credits().credit_of(*nid, probe);
+        fp.push(format!(
+            "c:{}:{:016x}:{:016x}:{:016x}",
+            hex(nid.as_bytes()),
+            c.positive.to_bits(),
+            c.negative.to_bits(),
+            c.combined.to_bits(),
+        ));
+    }
+    let mut http_reqs: Vec<(String, String)> = oracle_ids
+        .iter()
+        .take(3)
+        .map(|id| (format!("/v1/weight/{}", hex(id.as_bytes())), String::new()))
+        .collect();
+    for nid in &subjects {
+        http_reqs
+            .push((format!("/v1/credit/{}", hex(nid.as_bytes())), format!("at_ms={probe_ms}")));
+    }
+    for (path, query) in http_reqs {
+        let req = Request { method: "GET".into(), path: path.clone(), query, keep_alive: false };
+        let bytes = archival.oracle_response(&req);
+        fp.push(format!("h:{}:{}", path, hex(&biot_crypto::sha256::sha256(&bytes))));
+    }
+    fp
 }
 
 /// Bit-for-bit check across the mixed fleet: every gossip tangle (and
 /// the validation gateway's internal one) equals the oracle; every
 /// ledger knows every event and agrees on every breakdown.
 fn fleet_matches_oracle(
-    nodes: &[FleetNode],
-    ledgers: &[CreditLedger],
+    driven: &Driven,
     oracle_tangle: &Tangle,
     oracle_ledger: &CreditLedger,
     events_total: u64,
@@ -617,31 +880,22 @@ fn fleet_matches_oracle(
                 .iter()
                 .all(|id| t.cumulative_weight(id) == oracle_tangle.cumulative_weight(id))
     };
-    for (node, ledger) in nodes.iter().zip(ledgers.iter()) {
-        if node.gossip().pending_len() != 0 {
+    for i in 0..driven.len() {
+        let view = driven.view(i);
+        if view.gossip.pending_len() != 0 {
             return false;
         }
-        if !tangle_matches(&node.gossip().tangle().lock().unwrap()) {
+        if !tangle_matches(&view.gossip.tangle().lock().unwrap()) {
             return false;
         }
-        match node {
-            FleetNode::Archival(n) => {
-                if !ledger_matches(n.credits()) {
-                    return false;
-                }
-            }
-            FleetNode::Validation(n) => {
-                // The gateway's *internal* tangle and ledger must match
-                // too — the mirror is the validation role's whole job.
-                if !tangle_matches(n.gateway().tangle()) || !ledger_matches(n.gateway().credits())
-                {
-                    return false;
-                }
-            }
-            FleetNode::Relay(_) => {
-                if !ledger_matches(ledger) {
-                    return false;
-                }
+        if !ledger_matches(view.ledger) {
+            return false;
+        }
+        // The validation gateway's *internal* tangle must match too —
+        // the mirror is the validation role's whole job.
+        if let Some(gateway_tangle) = view.gateway_tangle {
+            if !tangle_matches(gateway_tangle) {
+                return false;
             }
         }
     }
@@ -680,5 +934,26 @@ mod tests {
         let a = run_roles(&small());
         let b = run_roles(&small());
         assert_eq!(a, b, "same seed, same mixed fleet, same report");
+    }
+
+    #[test]
+    fn event_loop_driver_matches_tick_loop_bit_for_bit() {
+        let tick = run_roles(&small());
+        let event = run_roles(&RolesConfig { driver: RolesDriver::EventLoop, ..small() });
+        assert!(tick.converged, "tick-loop fleet must converge: {tick:?}");
+        assert!(event.converged, "event-loop fleet must converge: {event:?}");
+        assert!(event.replay_ok, "event-loop replay diverged");
+        assert_eq!(event.http_mismatches, 0, "event-loop socket bytes must equal oracle");
+        assert!(!tick.fingerprint.is_empty());
+        assert_eq!(
+            tick.fingerprint, event.fingerprint,
+            "tick loop and event loop must produce bit-identical fleets"
+        );
+        assert!(
+            event.rounds < tick.rounds * 4,
+            "deadline-hopping must not explode the wake count: {} vs {} ticks",
+            event.rounds,
+            tick.rounds
+        );
     }
 }

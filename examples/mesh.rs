@@ -1,5 +1,5 @@
 //! Five-node gossip mesh over real TCP loopback sockets, bootstrapped
-//! from a single seed.
+//! from a single seed and driven by one blocking [`EventLoop`].
 //!
 //! One seed node holds a DAG of sensor readings plus a batch of credit
 //! events. Four joiners boot cold knowing ONLY the seed's address: they
@@ -7,22 +7,23 @@
 //! direct links, and converge — identical tips, identical cumulative
 //! weights, identical `(CrP, CrN, Cr)` per device — with transaction
 //! payloads spreading by digest-and-pull rather than flood. Each joiner
-//! then issues a live reading and the mesh re-converges.
+//! then issues a live reading and the mesh re-converges. All five nodes
+//! and their acceptors share a single event loop that blocks until a
+//! socket is readable or a gossip timer is due, instead of the old
+//! poll-everything-every-millisecond spin.
 //!
 //! Run with: `cargo run --release --example mesh`
 
 use biot::credit::event::CreditEvent;
-use biot::credit::ledger::CreditLedger;
-use biot::credit::params::CreditParams;
 use biot::gossip::node::{GossipConfig, GossipNode, RelayMode};
 use biot::gossip::tcp::{TcpAcceptor, TcpConnector, TcpDialer};
 use biot::net::time::SimTime;
+use biot::node::{EventLoop, MemberId};
 use biot::tangle::graph::Tangle;
 use biot::tangle::tx::{NodeId, Payload, TransactionBuilder, TxId};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
 
 const NODES: usize = 5;
 const SEED_TXS: u32 = 120;
@@ -79,6 +80,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Five nodes, each listening; joiners know only the seed. ------
+    // Every node and its acceptor goes into the one event loop, which
+    // folds each node's received mesh credit events into a per-member
+    // ledger projection.
     let mut acceptors = Vec::new();
     let mut addrs = Vec::new();
     for _ in 0..NODES {
@@ -86,9 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         addrs.push(a.local_addr()?.to_string());
         acceptors.push(a);
     }
-    let mut nodes: Vec<GossipNode> = Vec::new();
-    for (i, addr) in addrs.iter().enumerate() {
-        let cfg = mesh_config(i as u64 + 1, addr.clone());
+    let mut el = EventLoop::new()?;
+    let mut ids: Vec<MemberId> = Vec::new();
+    for (i, acceptor) in acceptors.into_iter().enumerate() {
+        let cfg = mesh_config(i as u64 + 1, addrs[i].clone());
         let mut node = if i == 0 {
             GossipNode::new(Arc::clone(&seed_tangle), cfg)
         } else {
@@ -98,83 +103,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if i > 0 {
             node.connect(Box::new(TcpConnector { addr: addrs[0].parse()? }));
         }
-        nodes.push(node);
+        let id = el.add_gossip(node);
+        el.add_acceptor(acceptor, id);
+        ids.push(id);
     }
     println!("seed listening on {}; 4 joiners dialing it cold", addrs[0]);
 
-    let mut ledgers: Vec<CreditLedger> =
-        (0..NODES).map(|_| CreditLedger::new(CreditParams::default())).collect();
-
-    let start = Instant::now();
-    let deadline = start + Duration::from_secs(60);
     let target = seed_tangle.lock().unwrap().len();
-    let mut seeded_credit = false;
 
-    let poll_all = |nodes: &mut Vec<GossipNode>,
-                        ledgers: &mut Vec<CreditLedger>|
-     -> Result<(), Box<dyn std::error::Error>> {
-        let now = start.elapsed().as_millis() as u64;
-        for (i, node) in nodes.iter_mut().enumerate() {
-            for t in acceptors[i].try_accept_all(16)? {
-                node.add_transport(Box::new(t), now);
-            }
-            node.poll(now);
-            for ev in node.take_credit_events() {
-                ledgers[i].apply(&ev);
-            }
-        }
-        std::thread::sleep(Duration::from_millis(1));
-        Ok(())
-    };
+    // --- Phase 1a: block until the seed's first link is up, then share
+    // its credit history. (The broadcast does not loop back, so the
+    // seed's own projection folds the events locally.)
+    if !el.run_until(60_000, |el| el.gossip(ids[0]).expect("seed").ready_peers() > 0)? {
+        return Err("no joiner reached the seed in 60s".into());
+    }
+    let now = el.now_ms();
+    el.gossip_mut(ids[0]).expect("seed").broadcast_credit_events(&credit_events, now);
+    for ev in &credit_events {
+        el.ledger_mut(ids[0]).expect("seed ledger").apply(ev);
+    }
 
-    // --- Phase 1: bootstrap + peer discovery + full sync. -------------
-    loop {
-        poll_all(&mut nodes, &mut ledgers)?;
-        // Broadcast the seed's credit history once its first link is up.
-        if !seeded_credit && nodes[0].ready_peers() > 0 {
-            let now = start.elapsed().as_millis() as u64;
-            nodes[0].broadcast_credit_events(&credit_events, now);
-            for ev in &credit_events {
-                ledgers[0].apply(ev);
-            }
-            seeded_credit = true;
-        }
-        let synced = nodes.iter().all(|n| {
+    // --- Phase 1b: bootstrap + peer discovery + full sync. -------------
+    let synced = el.run_until(60_000, |el| {
+        let synced = ids.iter().all(|&id| {
+            let n = el.gossip(id).expect("member");
             n.tangle().lock().unwrap().len() == target && n.pending_len() == 0
         });
         // Peer exchange must have opened links beyond the seed star:
         // every joiner directly connected to at least 3 of the other 4.
-        let meshed = nodes.iter().all(|n| n.ready_peers() >= 3);
-        let credit_done =
-            seeded_credit && ledgers.iter().all(|l| l.events_applied() == SEED_TXS as u64);
-        if synced && meshed && credit_done {
-            break;
-        }
-        if Instant::now() >= deadline {
-            return Err(format!(
-                "mesh did not converge in 60s: sizes {:?}, ready {:?}, credit {:?}",
-                nodes
-                    .iter()
-                    .map(|n| n.tangle().lock().unwrap().len())
-                    .collect::<Vec<_>>(),
-                nodes.iter().map(|n| n.ready_peers()).collect::<Vec<_>>(),
-                ledgers.iter().map(|l| l.events_applied()).collect::<Vec<_>>(),
-            )
-            .into());
-        }
+        let meshed = ids.iter().all(|&id| el.gossip(id).expect("member").ready_peers() >= 3);
+        let credit_done = ids
+            .iter()
+            .all(|&id| el.ledger(id).expect("ledger").events_applied() == SEED_TXS as u64);
+        synced && meshed && credit_done
+    })?;
+    if !synced {
+        return Err(format!(
+            "mesh did not converge in 60s: sizes {:?}, ready {:?}, credit {:?}",
+            ids.iter()
+                .map(|&id| el.gossip(id).expect("member").tangle().lock().unwrap().len())
+                .collect::<Vec<_>>(),
+            ids.iter().map(|&id| el.gossip(id).expect("member").ready_peers()).collect::<Vec<_>>(),
+            ids.iter()
+                .map(|&id| el.ledger(id).expect("ledger").events_applied())
+                .collect::<Vec<_>>(),
+        )
+        .into());
     }
     println!(
-        "mesh converged after {:?}: every node holds {} transactions, \
-         direct links per node: {:?}",
-        start.elapsed(),
+        "mesh converged after {}ms in {} event-loop wakeups: every node holds {} \
+         transactions, direct links per node: {:?}",
+        el.now_ms(),
+        el.wakeups(),
         target,
-        nodes.iter().map(|n| n.ready_peers()).collect::<Vec<_>>()
+        ids.iter().map(|&id| el.gossip(id).expect("member").ready_peers()).collect::<Vec<_>>()
     );
 
     // --- Phase 2: every joiner issues a live reading. ------------------
     let mut live_ids: Vec<TxId> = Vec::new();
-    for (i, node) in nodes.iter_mut().enumerate().skip(1) {
-        let now = start.elapsed().as_millis() as u64;
+    for (i, &id) in ids.iter().enumerate().skip(1) {
+        let now = el.now_ms();
+        let node = el.gossip_mut(id).expect("member");
         let (trunk, branch) = {
             let t = node.tangle().lock().unwrap();
             let tips = t.tips();
@@ -187,25 +176,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build();
         live_ids.push(node.attach_local(tx, now)?);
     }
-    loop {
-        poll_all(&mut nodes, &mut ledgers)?;
-        let all_live = nodes.iter().all(|n| {
+    let relived = el.run_until(el.now_ms() + 60_000, |el| {
+        ids.iter().all(|&id| {
+            let n = el.gossip(id).expect("member");
             let t = n.tangle().lock().unwrap();
             live_ids.iter().all(|id| t.contains(id)) && n.pending_len() == 0
-        });
-        if all_live {
-            break;
-        }
-        if Instant::now() >= deadline {
-            return Err("live readings never reached the whole mesh".into());
-        }
+        })
+    })?;
+    if !relived {
+        return Err("live readings never reached the whole mesh".into());
     }
 
     // --- Final agreement: tips, weights, credit. -----------------------
-    let reference = nodes[0].tangle();
+    let reference = el.gossip(ids[0]).expect("seed").tangle();
     let ta = reference.lock().unwrap();
-    for node in nodes.iter().skip(1) {
-        let tb = node.tangle().lock().unwrap();
+    for &id in ids.iter().skip(1) {
+        let tangle = el.gossip(id).expect("member").tangle();
+        let tb = tangle.lock().unwrap();
         assert_eq!(ta.len(), tb.len());
         assert_eq!(ta.tips(), tb.tips());
         assert!(ta.iter().all(|tx| {
@@ -213,11 +200,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ta.cumulative_weight(&id) == tb.cumulative_weight(&id)
         }));
     }
-    let now = SimTime::from_millis(start.elapsed().as_millis() as u64);
+    let now = SimTime::from_millis(el.now_ms());
     for d in 0..DEVICES {
-        let reference = ledgers[0].credit_of(device(d), now);
-        for ledger in ledgers.iter().skip(1) {
-            let b = ledger.credit_of(device(d), now);
+        let reference = el.ledger(ids[0]).expect("ledger").credit_of(device(d), now);
+        for &id in ids.iter().skip(1) {
+            let b = el.ledger(id).expect("ledger").credit_of(device(d), now);
             assert_eq!(reference.positive.to_bits(), b.positive.to_bits());
             assert_eq!(reference.negative.to_bits(), b.negative.to_bits());
             assert_eq!(reference.combined.to_bits(), b.combined.to_bits());

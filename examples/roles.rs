@@ -1,4 +1,5 @@
-//! All three node roles on one machine, over real sockets.
+//! All three node roles on one machine, over real sockets, driven by a
+//! single blocking [`EventLoop`].
 //!
 //! * A **validation node** wraps a gateway and listens on two TCP ports:
 //!   the ingest protocol for light clients and gossip for peers.
@@ -7,10 +8,13 @@
 //! * An **archival node** dials the validation node's gossip port, syncs
 //!   everything, and serves the HTTP/1.1 query API.
 //!
-//! The finale ties the roles together: the validation node replays its
-//! entire credit-event log from scratch ([`ValidationNode::verify_replay`]),
-//! and the archival node's HTTP answer for each light client's credit is
-//! checked against that independently replayed ledger.
+//! Both server roles and the gossip acceptor sit in one event loop that
+//! sleeps in `epoll_pwait` until a socket is ready or a timer is due —
+//! no 1ms spin loop. The finale ties the roles together: the validation
+//! node replays its entire credit-event log from scratch
+//! ([`ValidationNode::verify_replay`]), and the archival node's HTTP
+//! answer for each light client's credit is checked against that
+//! independently replayed ledger.
 //!
 //! Run with: `cargo run --example roles`
 
@@ -22,11 +26,11 @@ use biot::gossip::node::{GossipConfig, RelayMode};
 use biot::gossip::tcp::{TcpAcceptor, TcpConnector};
 use biot::net::time::SimTime;
 use biot::node::role::{ArchivalNode, LightClient, Role, RoleConfig, ValidationNode};
+use biot::node::EventLoop;
 use biot::tangle::conflict::LazyTipPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{Read, Write};
-use std::time::{Duration, Instant};
 
 const LIGHTS: usize = 2;
 const TXS_EACH: usize = 5;
@@ -34,11 +38,11 @@ const TXS_EACH: usize = 5;
 // the compared credit values are live, not decayed-to-zero.
 const PROBE_MS: u64 = 10_000;
 
-// Digest relay mode, not the Announce default: mesh modes keep a credit
-// replay store, so events broadcast before a peer finishes its handshake
-// are replayed to it afterwards. Announce fires-and-forgets to whoever is
-// ready *right now* — and the manager's auth-list event is emitted before
-// the archival node's dial completes.
+// Digest relay mode: payloads spread digest-and-pull and the mesh keeps
+// a credit replay store for late joiners. (Plain Announce works here too
+// now that credit events broadcast before a peer's handshake completes
+// are buffered per peer and flushed on Hello instead of silently
+// dropped.)
 fn gossip_cfg(node_id: u64) -> GossipConfig {
     GossipConfig {
         node_id,
@@ -80,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     gateway.apply_auth_list(auth.tx, SimTime::ZERO)?;
 
     // --- Validation node: ingest TCP for clients, gossip TCP for peers.
-    let mut validation = ValidationNode::new(
+    let validation = ValidationNode::new(
         gateway,
         RoleConfig {
             role: Role::Validation,
@@ -105,6 +109,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let http_addr = archival.http_addr()?.expect("http enabled");
     println!("archival:   http on {http_addr}, dialing gossip {gossip_addr}");
 
+    // --- One event loop runs both server roles. ------------------------
+    let mut el = EventLoop::new()?;
+    let vid = el.add_validation(validation);
+    let aid = el.add_archival(archival);
+    el.add_acceptor(gossip_acceptor, vid);
+
     // --- Light clients: mine, sign, frame, submit over TCP, check acks.
     let mut client_threads = Vec::new();
     for (c, light) in lights.into_iter().enumerate() {
@@ -128,6 +138,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 std::net::TcpStream::connect(ingest_addr).map_err(|e| e.to_string())?;
             let mut accepted = 0usize;
             for frame in frames {
+                // Pace submissions a few ms apart, like a real device.
+                // Credit grants are stamped at validation time and the
+                // mesh dedups bit-identical events, so two grants to the
+                // same device in the same millisecond would collapse
+                // into one — and the event loop is fast enough to admit
+                // every unpaced reading inside a single millisecond.
+                std::thread::sleep(std::time::Duration::from_millis(3));
                 stream.write_all(&frame).map_err(|e| e.to_string())?;
                 let mut len = [0u8; 4];
                 stream.read_exact(&mut len).map_err(|e| e.to_string())?;
@@ -145,22 +162,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }));
     }
 
-    // --- Drive both runtimes until everything has synced everywhere. ---
+    // --- Block in the loop until everything has synced everywhere. -----
     // Target: genesis + auth list + every light transaction, and an
     // archival credit breakdown equal to the gateway's for every device.
     // (Event *counts* can legitimately differ: same-instant admission
     // grants collapse into identical events the mesh dedups.)
     let want_txs = 2 + LIGHTS * TXS_EACH;
     let probe = SimTime::from_millis(PROBE_MS);
-    let start = Instant::now();
-    let deadline = start + Duration::from_secs(60);
-    loop {
-        let now = start.elapsed().as_millis() as u64;
-        for t in gossip_acceptor.try_accept_all(16)? {
-            validation.gossip_mut().add_transport(Box::new(t), now);
-        }
-        validation.poll(now)?;
-        archival.poll(now)?;
+    let converged = el.run_until(60_000, |el| {
+        let validation = el.validation(vid).expect("validation member");
+        let archival = el.archival(aid).expect("archival member");
         let txs_synced = {
             let t = archival.gossip().tangle().lock().unwrap();
             t.len() == want_txs && archival.gossip().pending_len() == 0
@@ -175,36 +186,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     && a.combined == b.combined
             })
         };
-        if txs_synced && credit_synced && client_threads.iter().all(|t| t.is_finished()) {
-            break;
+        txs_synced && credit_synced && client_threads.iter().all(|t| t.is_finished())
+    })?;
+    if !converged {
+        let validation = el.validation(vid).expect("validation member");
+        let archival = el.archival(aid).expect("archival member");
+        for ev in validation.credit_log() {
+            eprintln!("  log: {ev:?}");
         }
-        if Instant::now() >= deadline {
-            for ev in validation.credit_log() {
-                eprintln!("  log: {ev:?}");
-            }
+        eprintln!(
+            "  validation stats: {:?}\n  archival stats: {:?}",
+            validation.gossip().stats(),
+            archival.gossip().stats()
+        );
+        for &n in validation.gateway().credits().known_nodes().collect::<Vec<_>>() {
+            let a = archival.credits().credit_of(n, probe);
+            let b = validation.gateway().credits().credit_of(n, probe);
             eprintln!(
-                "  validation stats: {:?}\n  archival stats: {:?}",
-                validation.gossip().stats(),
-                archival.gossip().stats()
+                "  {}…: archival ({}, {}, {}) vs gateway ({}, {}, {})",
+                &to_hex(n.as_bytes())[..8],
+                a.positive, a.negative, a.combined,
+                b.positive, b.negative, b.combined
             );
-            for &n in validation.gateway().credits().known_nodes().collect::<Vec<_>>() {
-                let a = archival.credits().credit_of(n, probe);
-                let b = validation.gateway().credits().credit_of(n, probe);
-                eprintln!(
-                    "  {}…: archival ({}, {}, {}) vs gateway ({}, {}, {})",
-                    &to_hex(n.as_bytes())[..8],
-                    a.positive, a.negative, a.combined,
-                    b.positive, b.negative, b.combined
-                );
-            }
-            return Err(format!(
-                "no convergence in 60s: archival holds {} of {want_txs} txs, {} credit events",
-                archival.gossip().tangle().lock().unwrap().len(),
-                archival.credits().events_applied(),
-            )
-            .into());
         }
-        std::thread::sleep(Duration::from_millis(1));
+        return Err(format!(
+            "no convergence in 60s: archival holds {} of {want_txs} txs, {} credit events",
+            archival.gossip().tangle().lock().unwrap().len(),
+            archival.credits().events_applied(),
+        )
+        .into());
     }
     let mut accepted_total = 0;
     for t in client_threads {
@@ -212,17 +222,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert_eq!(accepted_total, LIGHTS * TXS_EACH, "every submission must be acked accepted");
     println!(
-        "synced: {} transactions and {} credit events on the archival node",
+        "synced: {} transactions and {} credit events on the archival node \
+         in {} wakeups over {}ms (the old tick loop would have spun ~once per ms)",
         want_txs,
-        archival.credits().events_applied()
+        el.archival(aid).expect("archival member").credits().events_applied(),
+        el.wakeups(),
+        el.now_ms(),
     );
 
     // --- Validation role: replay the event log from scratch. -----------
-    let devices = validation.verify_replay(SimTime::from_millis(PROBE_MS))?;
+    let devices = el
+        .validation(vid)
+        .expect("validation member")
+        .verify_replay(SimTime::from_millis(PROBE_MS))?;
     println!("validation: event-log replay matches the live ledger for {devices} devices");
     let replayed = CreditLedger::from_events(
         CreditParams::default(),
-        validation.credit_log().iter(),
+        el.validation(vid).expect("validation member").credit_log().iter(),
     );
 
     // --- Archival role: HTTP credit answers vs the replayed ledger. ----
@@ -236,7 +252,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|id| format!("/v1/credit/{}?at_ms={PROBE_MS}", to_hex(id.as_bytes())))
         .collect();
-    let probe = std::thread::spawn(move || -> Result<Vec<String>, String> {
+    let probe_thread = std::thread::spawn(move || -> Result<Vec<String>, String> {
         paths
             .iter()
             .map(|path| {
@@ -253,12 +269,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect()
     });
-    while !probe.is_finished() {
-        let now = start.elapsed().as_millis() as u64;
-        validation.poll(now)?;
-        archival.poll(now)?;
-    }
-    let answers = probe.join().expect("probe thread")?;
+    let served = el.run_until(el.now_ms() + 30_000, |_| probe_thread.is_finished())?;
+    assert!(served, "HTTP probes did not complete in 30s");
+    let answers = probe_thread.join().expect("probe thread")?;
     for (id, response) in light_ids.iter().zip(answers.iter()) {
         assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "bad response: {response}");
         let body = response.split("\r\n\r\n").nth(1).expect("response has a body");
